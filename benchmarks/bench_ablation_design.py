@@ -1,0 +1,131 @@
+"""ABLATIONS — design choices called out in DESIGN.md.
+
+1. Quadrature order: the 2-point Gauss rule is the exactness/cost sweet
+   spot for Q1 elements — 1-point underintegrates the stiffness (the loss
+   no longer matches K u - b), 3-point adds cost with no accuracy.
+2. Input transform: feeding log(nu) (the smooth KL-expansion sum) vs raw
+   nu, which spans orders of magnitude.
+3. Downsampling: stride-2 convolutions vs max pooling in the U-Net
+   (Sec. 3.1.2 permits both).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D, Trainer, TrainConfig
+from repro.autograd import Tensor
+from repro.fem import (EnergyLoss, FEMSolver, GaussRule, UniformGrid,
+                       assemble_stiffness)
+
+try:
+    from .common import report
+except ImportError:
+    from common import report
+
+
+def _run_quadrature():
+    rng = np.random.default_rng(0)
+    grid = UniformGrid(2, 9)
+    nu = np.exp(0.3 * rng.standard_normal(grid.shape))
+    u_np = rng.standard_normal(grid.shape)
+    k2 = assemble_stiffness(grid, nu, GaussRule.create(2, 2))
+    ref_grad = (k2 @ u_np.ravel()).reshape(grid.shape)
+
+    rows = []
+    for order in (1, 2, 3):
+        rule = GaussRule.create(2, order)
+        loss = EnergyLoss(grid, rule=rule, reduction="sum")
+        u = Tensor(u_np[None, None], requires_grad=True, dtype=np.float64)
+        t0 = time.perf_counter()
+        for _ in range(20):
+            u.zero_grad()
+            loss(u, nu[None, None]).backward()
+        dt = (time.perf_counter() - t0) / 20
+        gap = float(np.abs(u.grad[0, 0] - ref_grad).max())
+        rows.append([order, rule.n_points, round(dt * 1e3, 3),
+                     f"{gap:.2e}"])
+    return rows
+
+
+def test_ablation_quadrature_order(benchmark):
+    rows = benchmark.pedantic(_run_quadrature, rounds=1, iterations=1)
+    report("ablation_quadrature",
+           ["gauss_order", "points_per_element", "loss_grad_ms",
+            "grad_gap_vs_2pt_operator"], rows)
+    gaps = [float(r[3]) for r in rows]
+    times = [r[2] for r in rows]
+    assert gaps[0] > 1e-3        # 1-point underintegrates
+    assert gaps[1] < 1e-10       # 2-point is the exact operator
+    assert gaps[2] < 1e-9        # 3-point agrees (Q1 integrands are low order)
+    assert times[2] > times[1]   # ...but costs more
+
+
+def _train_with(problem, dataset, epochs=50):
+    model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=6)
+    trainer = Trainer(model, problem, dataset,
+                      TrainConfig(batch_size=8, lr=3e-3))
+    res = trainer.train_epochs(16, epochs)
+    return model, res
+
+
+def _run_input_transform():
+    problem = PoissonProblem2D(resolution=16)
+    rows = []
+    for transform in ("log", "identity"):
+        dataset = problem.make_dataset(8, input_transform=transform)
+        _, res = _train_with(problem, dataset)
+        rows.append([transform, round(res.final_loss, 5),
+                     round(min(res.losses), 5)])
+    return rows
+
+
+def test_ablation_input_transform(benchmark):
+    rows = benchmark.pedantic(_run_input_transform, rounds=1, iterations=1)
+    report("ablation_input_transform",
+           ["input_transform", "final_loss", "best_loss"], rows)
+    by = {r[0]: r[1] for r in rows}
+    # The log transform (bounded, smooth) must not be worse than feeding
+    # raw nu whose dynamic range spans orders of magnitude.
+    assert by["log"] <= by["identity"] * 1.2
+
+
+def _run_downsample():
+    problem = PoissonProblem2D(resolution=16)
+    dataset = problem.make_dataset(8)
+    rows = []
+    for mode in ("conv", "maxpool"):
+        model = MGDiffNet(ndim=2, base_filters=8, depth=2, downsample=mode,
+                          rng=6)
+        trainer = Trainer(model, problem, dataset,
+                          TrainConfig(batch_size=8, lr=3e-3))
+        res = trainer.train_epochs(16, 50)
+        rows.append([mode, model.num_weights, round(res.final_loss, 5)])
+    return rows
+
+
+def test_ablation_downsample(benchmark):
+    rows = benchmark.pedantic(_run_downsample, rounds=1, iterations=1)
+    report("ablation_downsample",
+           ["downsample", "params", "final_loss"], rows)
+    by = {r[0]: r[2] for r in rows}
+    # Both variants train; stride-2 conv has more parameters.
+    params = {r[0]: r[1] for r in rows}
+    assert params["conv"] > params["maxpool"]
+    assert all(np.isfinite(v) for v in by.values())
+    # Neither collapses: losses within one order of magnitude.
+    assert max(by.values()) < 10 * min(by.values()) + 1.0
+
+
+if __name__ == "__main__":
+    report("ablation_quadrature",
+           ["gauss_order", "points_per_element", "loss_grad_ms",
+            "grad_gap_vs_2pt_operator"], _run_quadrature())
+    report("ablation_input_transform",
+           ["input_transform", "final_loss", "best_loss"],
+           _run_input_transform())
+    report("ablation_downsample", ["downsample", "params", "final_loss"],
+           _run_downsample())

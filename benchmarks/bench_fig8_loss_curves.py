@@ -1,0 +1,71 @@
+"""FIG8 — loss-vs-time curves, base vs multigrid 3D training (paper
+Fig. 8).
+
+The paper's figure shows the Half-V multigrid loss dropping fast during
+the cheap coarse-level phases and finishing at a loss comparable to the
+full-resolution baseline.  We regenerate both curves (as CSV series) and
+check the shape: the multigrid run reaches the baseline's final loss
+earlier than the baseline does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultigridTrainer, PoissonProblem3D
+
+try:
+    from .common import bench_config, report, small_model_3d
+except ImportError:
+    from common import bench_config, report, small_model_3d
+
+
+def _run(resolution: int = 16):
+    problem = PoissonProblem3D(resolution=resolution)
+    dataset = problem.make_dataset(4)
+    config = bench_config(max_epochs=15, restriction_epochs=2, batch_size=4)
+
+    base_tr = MultigridTrainer(small_model_3d(depth=2), problem, dataset,
+                               strategy="half_v", levels=2, config=config)
+    base = base_tr.train_baseline()
+    base_curve = []
+    t = 0.0
+    for dt, loss in zip(base.epoch_times, base.losses):
+        t += dt
+        base_curve.append((t, loss))
+
+    mg_tr = MultigridTrainer(small_model_3d(depth=2), problem, dataset,
+                             strategy="half_v", levels=2, config=config)
+    mg = mg_tr.train()
+    mg_curve = [(t, loss) for _, t, loss in mg.loss_history()]
+    mg_levels = [lvl for lvl, _, _ in mg.loss_history()]
+    return base_curve, mg_curve, mg_levels
+
+
+def test_fig8_loss_curves(benchmark):
+    base_curve, mg_curve, mg_levels = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    rows = ([["base", round(t, 3), round(l, 5)] for t, l in base_curve]
+            + [[f"half_v_L{lvl}", round(t, 3), round(l, 5)]
+               for (t, l), lvl in zip(mg_curve, mg_levels)])
+    report("fig8_loss_curves", ["series", "time_s", "loss"], rows)
+
+    base_final = base_curve[-1][1]
+    base_total = base_curve[-1][0]
+    # Shape: multigrid touches the baseline's final loss earlier.
+    reach = [t for t, l in mg_curve if l <= base_final * 1.1]
+    assert reach, "multigrid never approached baseline loss"
+    assert reach[0] <= base_total * 1.2
+    # And coarse-level epochs are cheaper than fine-level epochs.
+    coarse_dt = mg_curve[0][0]
+    fine_dts = [b - a for (a, _), (b, _), lvl in
+                zip(mg_curve, mg_curve[1:], mg_levels[1:]) if lvl == 1]
+    assert fine_dts and min(fine_dts) > coarse_dt * 0.8
+
+
+if __name__ == "__main__":
+    base_curve, mg_curve, mg_levels = _run()
+    rows = ([["base", round(t, 3), round(l, 5)] for t, l in base_curve]
+            + [[f"half_v_L{lvl}", round(t, 3), round(l, 5)]
+               for (t, l), lvl in zip(mg_curve, mg_levels)])
+    report("fig8_loss_curves", ["series", "time_s", "loss"], rows)

@@ -1,0 +1,109 @@
+"""SUBSTRATE — geometric multigrid solver cycles (paper Sec. 2.3 / Fig. 3).
+
+The numerical-linear-algebra machinery that inspires MGDiffNet's training
+schedule: V / W / F cycles of the classic GMG solver on the
+variable-coefficient Poisson problem, plus FMG (the solver-level analogue
+of Half-V training) and GMG-preconditioned CG.
+
+Shape checks (textbook multigrid facts the paper's Sec. 2.3 recounts):
+* iteration counts independent of resolution;
+* W/F converge in no more cycles than V;
+* FMG reaches discretization-level accuracy with few fine-grid cycles;
+* MG-preconditioned CG crushes plain CG.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import LogPermeabilityField
+from repro.fem import (UniformGrid, GeometricMultigrid, assemble_stiffness,
+                       canonical_bc, conjugate_gradient, gmg_preconditioner)
+from repro.multigrid import full_multigrid_solve
+
+try:
+    from .common import report
+except ImportError:
+    from common import report
+
+OMEGA = np.array([0.3105, 1.5386, 0.0932, -1.2442])
+FIELD = LogPermeabilityField(2)
+
+
+def _problem(res):
+    grid = UniformGrid(2, res)
+    return grid, FIELD.evaluate(OMEGA, grid), canonical_bc(grid)
+
+
+def _run_cycles():
+    rows = []
+    for res in (33, 65, 129):
+        grid, nu, bc = _problem(res)
+        for cycle in ("v", "w", "f"):
+            gmg = GeometricMultigrid(grid, nu, bc, coarse_size=128)
+            t0 = time.perf_counter()
+            gmg.solve(tol=1e-9, cycle=cycle)
+            dt = time.perf_counter() - t0
+            rows.append([res - 1, cycle, gmg.num_levels,
+                         gmg.last_report.iterations,
+                         round(dt * 1e3, 1)])
+    return rows
+
+
+def test_gmg_cycle_comparison(benchmark):
+    rows = benchmark.pedantic(_run_cycles, rounds=1, iterations=1)
+    report("gmg_cycles", ["elements_per_dim", "cycle", "levels",
+                          "iterations", "time_ms"], rows)
+    by = {(r[0], r[1]): r[3] for r in rows}
+    # Resolution independence per cycle type.
+    for cycle in ("v", "w", "f"):
+        iters = [by[(n, cycle)] for n in (32, 64, 128)]
+        assert max(iters) - min(iters) <= 3
+        assert max(iters) <= 15
+    # W and F converge in no more cycles than V.
+    for n in (32, 64, 128):
+        assert by[(n, "w")] <= by[(n, "v")]
+        assert by[(n, "f")] <= by[(n, "v")]
+
+
+def test_fmg_fine_cycle_counts(benchmark):
+    def run():
+        grid, nu, bc = _problem(65)
+        _, res = full_multigrid_solve(grid, nu, bc, levels=4, tol=1e-9)
+        gmg = GeometricMultigrid(grid, nu, bc)
+        gmg.solve(tol=1e-9)
+        return res, gmg.last_report.iterations
+
+    res, cold_iters = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("gmg_fmg", ["level_resolution", "cycles"],
+           [[r, c] for r, c in zip(res.resolutions, res.cycles_per_level)]
+           + [["cold_start_finest", cold_iters]])
+    assert res.cycles_per_level[-1] <= cold_iters
+
+
+def test_mg_preconditioned_cg(benchmark):
+    def run():
+        grid, nu, bc = _problem(65)
+        k = assemble_stiffness(grid, nu)
+        interior = ~bc.mask.ravel()
+        k_ii = k[interior][:, interior].tocsr()
+        b = -(k @ bc.lift().ravel())[interior]
+        _, plain = conjugate_gradient(k_ii, b, tol=1e-10)
+        gmg = GeometricMultigrid(grid, nu, bc, coarse_size=128)
+        _, mgcg = conjugate_gradient(k_ii, b, tol=1e-10,
+                                     preconditioner=gmg_preconditioner(gmg))
+        return plain.iterations, mgcg.iterations
+
+    plain_iters, mg_iters = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("gmg_preconditioned_cg", ["solver", "iterations"],
+           [["plain CG", plain_iters], ["MG-preconditioned CG", mg_iters]])
+    assert mg_iters < plain_iters / 4
+    assert mg_iters <= 15
+
+
+if __name__ == "__main__":
+    report("gmg_cycles", ["elements_per_dim", "cycle", "levels",
+                          "iterations", "time_ms"], _run_cycles())

@@ -1,0 +1,129 @@
+"""TAB1 — multigrid strategy comparison (paper Table 1).
+
+For each strategy (V, W, F, Half-V) and level count, train from the same
+initialization and compare against full training at the finest resolution
+(the paper's 'Base'): Base/MG time, Base/MG loss, speedup.
+
+All runs share one stopping rule (early stopping, patience 6, 0.3%
+relative improvement) and one epoch cap, exactly like the paper's
+protocol.  Downscaled sizes: 2D 64^2 (paper: 128/256/512^2) and 3D 16^3
+(paper: 128^3).
+
+Paper claims checked in shape:
+* every strategy converges near the Base loss;
+* multigrid training beats the Base wall-clock at the larger resolution;
+* the speedup grows with resolution (paper: 1.56x at 128^2 up to
+  2.8x at 256^2 for the V cycle; marginal or < 1 at the smallest sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MGTrainConfig, MultigridTrainer, PoissonProblem2D, PoissonProblem3D
+
+try:
+    from .common import report, small_model_2d, small_model_3d
+except ImportError:
+    from common import report, small_model_2d, small_model_3d
+
+CASES_2D = [
+    ("v", 2), ("v", 3),
+    ("half_v", 2), ("half_v", 3),
+    ("w", 3),
+    ("f", 3),
+]
+
+HEADER = ["resolution", "strategy", "levels", "base_time_s", "mg_time_s",
+          "base_loss", "mg_loss", "speedup"]
+
+
+def _config_2d() -> MGTrainConfig:
+    return MGTrainConfig(batch_size=8, lr=3e-3, restriction_epochs=3,
+                         max_epochs_per_level=120, patience=6,
+                         min_delta=3e-3)
+
+
+def _run_2d(resolution: int, cases) -> list[list]:
+    problem = PoissonProblem2D(resolution=resolution)
+    dataset = problem.make_dataset(16)
+    config = _config_2d()
+
+    base_tr = MultigridTrainer(small_model_2d(), problem, dataset,
+                               strategy="half_v", levels=2, config=config)
+    base = base_tr.train_baseline()
+
+    rows = []
+    for strategy, levels in cases:
+        tr = MultigridTrainer(small_model_2d(), problem, dataset,
+                              strategy=strategy, levels=levels, config=config)
+        res = tr.train()
+        rows.append([f"{resolution}x{resolution}", strategy, levels,
+                     round(base.wall_time, 2), round(res.total_time, 2),
+                     round(base.final_loss, 5), round(res.final_loss, 5),
+                     round(base.wall_time / res.total_time, 2)])
+    return rows
+
+
+def _run_3d(resolution: int = 16) -> list[list]:
+    problem = PoissonProblem3D(resolution=resolution)
+    dataset = problem.make_dataset(8)
+    config = MGTrainConfig(batch_size=4, lr=3e-3, restriction_epochs=2,
+                           max_epochs_per_level=60, patience=6,
+                           min_delta=3e-3)
+
+    base_tr = MultigridTrainer(small_model_3d(depth=2), problem, dataset,
+                               strategy="half_v", levels=2, config=config)
+    base = base_tr.train_baseline()
+    tr = MultigridTrainer(small_model_3d(depth=2), problem, dataset,
+                          strategy="half_v", levels=2, config=config)
+    res = tr.train()
+    return [[f"{resolution}^3", "half_v", 2,
+             round(base.wall_time, 2), round(res.total_time, 2),
+             round(base.final_loss, 5), round(res.final_loss, 5),
+             round(base.wall_time / res.total_time, 2)]]
+
+
+def test_table1_2d(benchmark):
+    rows = benchmark.pedantic(_run_2d, args=(64, CASES_2D),
+                              rounds=1, iterations=1)
+    report("table1_strategies_2d", HEADER, rows)
+    base_loss = rows[0][5]
+    for row in rows:
+        # 'all the strategies ... converge around the similar loss value
+        # compared to the Base Loss' (here MG usually beats the capped
+        # baseline since coarse pretraining accelerates convergence).
+        assert row[6] < base_loss * 1.5 + 0.5, row
+    # Multigrid beats full fine-resolution training in wall-clock.
+    half_v = {r[2]: r[7] for r in rows if r[1] == "half_v"}
+    assert max(half_v.values()) > 1.1
+
+
+def test_table1_speedup_grows_with_resolution(benchmark):
+    """Paper: 'The speedup increases with the increase in resolution for
+    each strategy' — compare Half-V at 32^2 vs 64^2."""
+    def run():
+        small = _run_2d(32, [("half_v", 3)])
+        large = _run_2d(64, [("half_v", 3)])
+        return small + large
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("table1_resolution_trend", HEADER, rows)
+    speedup_small, speedup_large = rows[0][7], rows[1][7]
+    assert speedup_large > speedup_small
+
+
+def test_table1_3d(benchmark):
+    rows = benchmark.pedantic(_run_3d, rounds=1, iterations=1)
+    report("table1_strategies_3d", HEADER, rows)
+    row = rows[0]
+    # Loss parity with the Base (paper: identical at 0.04 / 0.04).
+    assert row[6] < row[5] * 1.5 + 0.5
+    # Multigrid is at least competitive at this micro scale; the paper's
+    # 6x emerges at 128^3 where fine epochs dominate absolutely.
+    assert row[7] > 0.8
+
+
+if __name__ == "__main__":
+    report("table1_strategies_2d", HEADER, _run_2d(64, CASES_2D))
+    report("table1_strategies_3d", HEADER, _run_3d())

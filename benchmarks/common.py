@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at
+downscaled size (see DESIGN.md's per-experiment index), prints the
+paper-style rows, and writes a CSV under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro import MGDiffNet, MGTrainConfig
+from repro.utils import format_table, write_csv
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def report(name: str, header: Sequence[str], rows: list[Sequence]) -> None:
+    """Print a paper-style table and persist it as CSV."""
+    print(f"\n=== {name} ===")
+    print(format_table(header, rows))
+    write_csv(RESULTS_DIR / f"{name}.csv", header, rows)
+
+
+def small_model_2d(rng: int = 42, base_filters: int = 8,
+                   depth: int = 2) -> MGDiffNet:
+    return MGDiffNet(ndim=2, base_filters=base_filters, depth=depth, rng=rng)
+
+
+def small_model_3d(rng: int = 42, base_filters: int = 8,
+                   depth: int = 2) -> MGDiffNet:
+    return MGDiffNet(ndim=3, base_filters=base_filters, depth=depth, rng=rng)
+
+
+def bench_config(max_epochs: int = 30, restriction_epochs: int = 3,
+                 batch_size: int = 8, lr: float = 3e-3) -> MGTrainConfig:
+    """Downscaled training budget shared by the table benchmarks."""
+    return MGTrainConfig(batch_size=batch_size, lr=lr,
+                         restriction_epochs=restriction_epochs,
+                         max_epochs_per_level=max_epochs,
+                         patience=8, min_delta=5e-4)

@@ -1,0 +1,79 @@
+"""MGDiffNet vs traditional FEM on the paper's anecdotal parameter values
+(Tables 3, 4, 5 and 7), plus the Sec. 4.3 inference-vs-solve timing.
+
+Trains a Half-V multigrid model, then evaluates it on the exact omega
+tuples printed in the paper and reports quantitative error metrics in
+place of the paper's difference plots.
+
+Usage::
+
+    python examples/fem_comparison.py [--resolution 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import MGDiffNet, PoissonProblem2D, MultigridTrainer, MGTrainConfig
+from repro.core import compare_fields, time_inference_vs_fem
+from repro.utils import ascii_field, format_table
+
+# The omega values printed in the paper's tables.
+PAPER_OMEGAS = {
+    "Table 3/5/7a": (0.3105, 1.5386, 0.0932, -1.2442),
+    "Table 4a": (0.6681, 1.5354, 0.7644, -2.9709),
+    "Table 4b": (1.3821, 2.5508, 0.1750, 2.1269),
+    "Table 7b": (0.2838, -2.3550, 2.9574, -1.8963),
+    "Table 7c": (0.0293, -2.0943, 0.1386, -2.3271),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=32)
+    parser.add_argument("--samples", type=int, default=32)
+    parser.add_argument("--max-epochs", type=int, default=100)
+    args = parser.parse_args()
+
+    problem = PoissonProblem2D(resolution=args.resolution)
+    dataset = problem.make_dataset(args.samples)
+    model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=1)
+    config = MGTrainConfig(batch_size=8, lr=3e-3, restriction_epochs=4,
+                           max_epochs_per_level=args.max_epochs,
+                           patience=10, min_delta=5e-4)
+    trainer = MultigridTrainer(model, problem, dataset, strategy="half_v",
+                               levels=2, config=config)
+    result = trainer.train()
+    print(f"trained: {result.total_time:.1f}s, loss {result.final_loss:.5f}\n")
+
+    rows = []
+    for name, omega in PAPER_OMEGAS.items():
+        omega = np.asarray(omega)
+        pred = model.predict(problem, omega)
+        ref = problem.fem_solve(omega)
+        e = compare_fields(pred, ref)
+        rows.append([name, str(tuple(np.round(omega, 3))),
+                     round(e.rel_l2, 4), round(e.linf, 4), round(e.mae, 4)])
+    print(format_table(["case", "omega", "rel L2", "Linf", "MAE"], rows))
+
+    omega = np.asarray(PAPER_OMEGAS["Table 3/5/7a"])
+    print("\ndiffusivity nu (log scale):")
+    print(ascii_field(np.log(problem.nu(omega)), width=48, height=14))
+    print("\nu_MGDiffNet:")
+    print(ascii_field(model.predict(problem, omega), width=48, height=14,
+                      vmin=0, vmax=1))
+    print("\nu_FEM:")
+    print(ascii_field(problem.fem_solve(omega), width=48, height=14,
+                      vmin=0, vmax=1))
+
+    timing = time_inference_vs_fem(model, problem, omega)
+    print(f"\nSec 4.3 timing at {args.resolution}^2: "
+          f"inference {timing.inference_seconds * 1e3:.1f} ms vs "
+          f"FEM {timing.fem_seconds * 1e3:.1f} ms "
+          f"({timing.speedup:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

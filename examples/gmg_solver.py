@@ -1,0 +1,57 @@
+"""The classic geometric-multigrid FEM solver (paper Sec. 2.3 substrate).
+
+Solves the variable-coefficient Poisson problem with V / W / F cycles and
+shows the hallmark property that inspired MGDiffNet's training schedule:
+iteration counts independent of resolution.
+
+Usage::
+
+    python examples/gmg_solver.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data import LogPermeabilityField
+from repro.fem import (UniformGrid, FEMSolver, GeometricMultigrid,
+                       canonical_bc)
+from repro.utils import format_table
+
+
+def main() -> None:
+    field = LogPermeabilityField(2)
+    omega = np.array([0.3105, 1.5386, 0.0932, -1.2442])  # paper Table 3
+
+    rows = []
+    for res in (33, 65, 129):
+        grid = UniformGrid(2, res)
+        nu = field.evaluate(omega, grid)
+        bc = canonical_bc(grid)
+
+        t0 = time.perf_counter()
+        ref = FEMSolver(grid).solve(nu, bc, method="direct")
+        t_direct = time.perf_counter() - t0
+
+        for cycle in ("v", "w", "f"):
+            gmg = GeometricMultigrid(grid, nu, bc, coarse_size=128)
+            t0 = time.perf_counter()
+            u = gmg.solve(tol=1e-9, cycle=cycle)
+            t_mg = time.perf_counter() - t0
+            rep = gmg.last_report
+            rows.append([f"{res - 1}^2", cycle.upper(), gmg.num_levels,
+                         rep.iterations, f"{rep.residual:.1e}",
+                         f"{np.abs(u - ref).max():.1e}",
+                         f"{t_mg * 1e3:.0f}", f"{t_direct * 1e3:.0f}"])
+
+    print(format_table(
+        ["elements", "cycle", "levels", "iters", "rel res", "err vs LU",
+         "MG (ms)", "LU (ms)"], rows))
+    print("\nNote the resolution-independent iteration counts — the "
+          "property MGDiffNet's training cycles import into deep learning.")
+
+
+if __name__ == "__main__":
+    main()

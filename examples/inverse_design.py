@@ -1,0 +1,107 @@
+"""Inverse design with the trained neural solver (the paper's motivating
+application: 'computational design optimization, where hundreds (or
+thousands) of simulations are necessary', Sec. 1; deployment targets in
+Sec. 5: thermal transport / flow through porous media).
+
+Task: among the 4-parameter diffusivity family, find the omega of maximum
+*effective conductance* — the total flux driven through the domain by the
+unit potential drop, which for the energy-minimizing field equals twice
+the dissipated energy ``2 J(u; nu) = int nu |grad u|^2``.  The trained
+MGDiffNet evaluates hundreds of candidates in the time a handful of FEM
+solves take; the winners are then verified with FEM.
+
+Usage::
+
+    python examples/inverse_design.py [--candidates 256]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import MGDiffNet, PoissonProblem2D, MultigridTrainer, MGTrainConfig
+from repro.core import compare_fields, predict_batch
+from repro.data import sample_omega
+
+
+def effective_conductance(problem, u: np.ndarray, nu: np.ndarray) -> float:
+    """Figure of merit: int nu |grad u|^2 == total flux x potential drop.
+
+    Evaluated with the same Gauss-quadrature energy the solver trains on;
+    a larger value means the medium conducts more effectively between the
+    two Dirichlet faces.
+    """
+    from repro.autograd import Tensor, no_grad
+
+    energy = problem.energy(u.shape[0], reduction="sum")
+    with no_grad():
+        j = energy(Tensor(u[None, None].astype(np.float32)),
+                   nu[None, None].astype(np.float32))
+    return 2.0 * float(j.data)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=32)
+    parser.add_argument("--candidates", type=int, default=256)
+    parser.add_argument("--train-samples", type=int, default=32)
+    args = parser.parse_args()
+
+    problem = PoissonProblem2D(resolution=args.resolution)
+    dataset = problem.make_dataset(args.train_samples)
+    model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=0)
+    config = MGTrainConfig(batch_size=8, lr=3e-3, restriction_epochs=4,
+                           max_epochs_per_level=80, patience=10,
+                           min_delta=5e-4)
+    print("training surrogate (Half-V multigrid)...")
+    result = MultigridTrainer(model, problem, dataset, strategy="half_v",
+                              levels=2, config=config).train()
+    print(f"  done in {result.total_time:.1f}s, loss {result.final_loss:.5f}")
+
+    # --- neural screening of the design space --------------------------
+    candidates = sample_omega(args.candidates, m=4, skip=50_000)
+    t0 = time.perf_counter()
+    fields = predict_batch(model, problem, candidates)
+    grid = problem.grid()
+    scores = np.array([
+        effective_conductance(problem, u, problem.nu(omega))
+        for u, omega in zip(fields, candidates)])
+    t_screen = time.perf_counter() - t0
+    best = int(np.argmax(scores))
+    print(f"\nscreened {args.candidates} designs in {t_screen:.2f}s "
+          f"({t_screen / args.candidates * 1e3:.1f} ms/design)")
+    print(f"best omega: {np.round(candidates[best], 4)} "
+          f"(score {scores[best]:.4f})")
+
+    # --- FEM verification of the top designs ---------------------------
+    order = np.argsort(-scores)[:5]
+    print("\ntop-5 verification against FEM:")
+    t0 = time.perf_counter()
+    fem_scores = []
+    for rank, idx in enumerate(order, start=1):
+        ref = problem.fem_solve(candidates[idx])
+        fem_score = effective_conductance(problem, ref,
+                                          problem.nu(candidates[idx]))
+        fem_scores.append(fem_score)
+        err = compare_fields(fields[idx], ref).rel_l2
+        print(f"  #{rank}: neural {scores[idx]:.4f} vs FEM {fem_score:.4f} "
+              f"(field rel_L2 {err:.3f})")
+    t_fem = time.perf_counter() - t0
+    print("\n(note: J(u_pred) >= J(u*) by the variational principle, so "
+          "neural scores upper-bound the FEM values; the *ranking* is what "
+          "the screen provides)")
+    print(f"5 FEM verifications took {t_fem:.2f}s — "
+          f"screening the full set with FEM would take "
+          f"~{t_fem / 5 * args.candidates:.0f}s vs {t_screen:.2f}s neural")
+
+    # The neural ranking should agree with FEM on what is good.
+    fem_best = max(fem_scores)
+    print(f"\nneural-selected best achieves {fem_scores[0] / fem_best:.1%} "
+          f"of the verified-best figure of merit")
+
+
+if __name__ == "__main__":
+    main()

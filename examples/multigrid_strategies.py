@@ -1,0 +1,66 @@
+"""Compare the four multigrid training strategies (paper Table 1 / Fig. 3).
+
+Trains the same initial network with V, W, F and Half-V cycles plus the
+full-resolution baseline, and reports time-to-converge, final loss and
+speedup — the structure of Table 1 at laptop scale.
+
+Usage::
+
+    python examples/multigrid_strategies.py [--resolution 32] [--levels 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MGDiffNet, PoissonProblem2D, MultigridTrainer, MGTrainConfig
+from repro.multigrid import STRATEGIES
+from repro.utils import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=32)
+    parser.add_argument("--levels", type=int, default=3)
+    parser.add_argument("--samples", type=int, default=16)
+    parser.add_argument("--max-epochs", type=int, default=60)
+    args = parser.parse_args()
+
+    problem = PoissonProblem2D(resolution=args.resolution)
+    dataset = problem.make_dataset(args.samples)
+    config = MGTrainConfig(batch_size=8, lr=3e-3, restriction_epochs=3,
+                           max_epochs_per_level=args.max_epochs,
+                           patience=8, min_delta=5e-4)
+
+    def fresh_model():
+        return MGDiffNet(ndim=2, base_filters=8, depth=2, rng=42)
+
+    # Baseline: full training at the finest resolution.
+    base_tr = MultigridTrainer(fresh_model(), problem, dataset,
+                               strategy="half_v", levels=args.levels,
+                               config=config)
+    base = base_tr.train_baseline()
+    print(f"baseline: {base.wall_time:.1f}s, loss {base.final_loss:.5f}, "
+          f"{base.epochs_run} epochs\n")
+
+    rows = []
+    for strategy in STRATEGIES:
+        trainer = MultigridTrainer(fresh_model(), problem, dataset,
+                                   strategy=strategy, levels=args.levels,
+                                   config=config)
+        result = trainer.train()
+        frac = result.time_fraction_per_level()
+        frac_str = " ".join(f"L{l}:{frac.get(l, 0):.0%}"
+                            for l in range(1, args.levels + 1))
+        rows.append([strategy, round(base.wall_time, 1),
+                     round(result.total_time, 1),
+                     round(base.final_loss, 5), round(result.final_loss, 5),
+                     f"{base.wall_time / result.total_time:.2f}x", frac_str])
+
+    print(format_table(
+        ["Strategy", "Base Time (s)", "MG Time (s)", "Base Loss", "MG Loss",
+         "Speedup", "Time/level (Fig 7)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""3D megavoxel scaling study (paper Sec. 4.2, Figs. 9 and 10).
+
+Measures real per-sample compute at a small 3D resolution, extrapolates to
+the paper's 256^3 / 512^3 domains with the voxel-proportional FLOPs model,
+and reproduces the strong-scaling curves on the Table 6 cluster models.
+
+Usage::
+
+    python examples/scaling_3d.py [--measure-resolution 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MGDiffNet, PoissonProblem3D
+from repro.perf import (AZURE_NDV2, BRIDGES2_CPU, compute_time_at_resolution,
+                        measure_sample_time, strong_scaling_study)
+from repro.utils import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measure-resolution", type=int, default=16)
+    args = parser.parse_args()
+
+    r_meas = args.measure_resolution
+    problem = PoissonProblem3D(resolution=r_meas)
+    model = MGDiffNet(ndim=3, base_filters=8, depth=2, rng=0)
+    nw = model.num_weights
+    print(f"3D U-Net parameters: {nw}")
+
+    t_meas = measure_sample_time(model, problem, r_meas, batch_size=2)
+    print(f"measured compute at {r_meas}^3: {t_meas * 1e3:.1f} ms/sample")
+
+    # --- Fig. 9: 256^3 on the V100 cluster, local batch 2, 1024 samples ---
+    t256 = compute_time_at_resolution(t_meas, r_meas, 256, ndim=3)
+    print(f"\nextrapolated compute at 256^3: {t256:.2f} s/sample")
+    print("Fig. 9 reproduction (Azure NDv2, local batch 2, Ns=1024):")
+    ps = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+    pts = strong_scaling_study(ps, n_samples=1024, t_sample=t256,
+                               n_params=nw, spec=AZURE_NDV2, local_batch=2)
+    rows = [[p.world_size, p.nodes, f"{p.epoch_seconds:.1f}",
+             f"{p.speedup:.1f}x", f"{p.efficiency:.2f}"] for p in pts]
+    print(format_table(["GPUs", "nodes", "epoch (s)", "speedup", "eff"],
+                       rows))
+
+    # --- Fig. 10: 512^3 on the EPYC cluster, 1 process/node ---
+    # CPU nodes are ~8x slower per sample than a V100 for this workload.
+    t512 = compute_time_at_resolution(t_meas, r_meas, 512, ndim=3) * 8.0
+    print(f"\nextrapolated CPU-node compute at 512^3: {t512:.1f} s/sample")
+    print("Fig. 10 reproduction (Bridges2 EPYC, local batch 2, Ns=1024):")
+    ps = [1, 2, 4, 8, 16, 32, 64, 128]
+    pts = strong_scaling_study(ps, n_samples=1024, t_sample=t512,
+                               n_params=nw, spec=BRIDGES2_CPU, local_batch=2)
+    rows = [[p.world_size, f"{p.epoch_seconds:.1f}", f"{p.speedup:.1f}x",
+             f"{p.efficiency:.2f}"] for p in pts]
+    print(format_table(["nodes", "epoch (s)", "speedup", "eff"], rows))
+
+    # --- Future work: gigavoxel extrapolation (paper Sec. 5) ---
+    t1024 = compute_time_at_resolution(t_meas, r_meas, 1024, ndim=3) * 8.0
+    pts = strong_scaling_study([128, 256, 512, 1024], n_samples=1024,
+                               t_sample=t1024, n_params=nw,
+                               spec=BRIDGES2_CPU, local_batch=2)
+    print("\ngigavoxel (1024^3) projection:")
+    rows = [[p.world_size, f"{p.epoch_seconds / 3600:.1f} h",
+             f"{p.efficiency:.2f}"] for p in pts]
+    print(format_table(["nodes", "epoch", "eff"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,262 @@
+"""N-dimensional convolution, transposed convolution and pooling.
+
+The convolution is dimension agnostic (the same code path serves the 2D and
+3D MGDiffNet variants) and is vectorized *per kernel offset*: for a k^d
+kernel the forward pass issues k^d large ``tensordot`` contractions instead
+of building an im2col matrix.  This keeps peak memory at O(input) — the
+property that lets the 3D U-Net run on modest hosts — while every FLOP goes
+through BLAS.
+
+Layouts follow the common deep-learning convention:
+
+* inputs  ``(N, C_in, *spatial)``
+* conv weights ``(C_out, C_in, *kernel)``
+* transposed-conv weights ``(C_in, C_out, *kernel)``
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from .function import Context, Function
+from .tensor import Tensor
+from . import ops_basic as ob
+
+__all__ = [
+    "conv_nd", "conv_transpose_nd", "max_pool_nd", "avg_pool_nd",
+    "conv_output_shape", "conv_transpose_output_shape", "tuplify",
+]
+
+
+def tuplify(value: int | Sequence[int], ndim: int) -> tuple[int, ...]:
+    """Broadcast a scalar hyperparameter to a per-axis tuple."""
+    if isinstance(value, int):
+        return (value,) * ndim
+    value = tuple(int(v) for v in value)
+    if len(value) != ndim:
+        raise ValueError(f"expected {ndim} values, got {value!r}")
+    return value
+
+
+def conv_output_shape(spatial: Sequence[int], kernel: Sequence[int],
+                      stride: Sequence[int], padding: Sequence[int]) -> tuple[int, ...]:
+    """Spatial output shape of an N-d convolution."""
+    out = []
+    for s, k, st, p in zip(spatial, kernel, stride, padding):
+        o = (s + 2 * p - k) // st + 1
+        if o <= 0:
+            raise ValueError(
+                f"conv output size {o} <= 0 for input {s}, kernel {k}, "
+                f"stride {st}, padding {p}")
+        out.append(o)
+    return tuple(out)
+
+
+def conv_transpose_output_shape(spatial: Sequence[int], kernel: Sequence[int],
+                                stride: Sequence[int], padding: Sequence[int],
+                                output_padding: Sequence[int]) -> tuple[int, ...]:
+    """Spatial output shape of an N-d transposed convolution."""
+    return tuple((s - 1) * st - 2 * p + k + op
+                 for s, k, st, p, op in zip(spatial, kernel, stride, padding, output_padding))
+
+
+class ConvNd(Function):
+    """N-dimensional cross-correlation (the deep-learning 'convolution')."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, w: np.ndarray, b: np.ndarray | None,
+                stride: tuple[int, ...], padding: tuple[int, ...]) -> np.ndarray:
+        nd = x.ndim - 2
+        n, cin = x.shape[:2]
+        cout = w.shape[0]
+        kernel = w.shape[2:]
+        if w.shape[1] != cin:
+            raise ValueError(f"weight C_in {w.shape[1]} != input C_in {cin}")
+
+        if any(padding):
+            padw = ((0, 0), (0, 0)) + tuple((p, p) for p in padding)
+            xp = np.pad(x, padw)
+        else:
+            xp = x
+        out_spatial = conv_output_shape(xp.shape[2:], kernel, stride, (0,) * nd)
+
+        # Accumulate in channels-last layout so each offset is one GEMM.
+        acc = np.zeros((n, *out_spatial, cout), dtype=x.dtype)
+        spatial_axes = list(range(2, 2 + nd))
+        for offset in product(*(range(k) for k in kernel)):
+            sl = tuple(slice(o, o + (so - 1) * st + 1, st)
+                       for o, so, st in zip(offset, out_spatial, stride))
+            xs = xp[(slice(None), slice(None)) + sl]        # (N, Cin, *So)
+            wo = w[(slice(None), slice(None)) + offset]      # (Cout, Cin)
+            acc += np.tensordot(xs, wo, axes=([1], [1]))     # (N, *So, Cout)
+        out = np.moveaxis(acc, -1, 1)
+        if b is not None:
+            out = out + b.reshape((1, cout) + (1,) * nd)
+
+        ctx.save_for_backward(xp, w)
+        ctx.meta.update(stride=stride, padding=padding, kernel=kernel,
+                        out_spatial=out_spatial, has_bias=b is not None,
+                        x_shape=x.shape)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        xp, w = ctx.saved
+        stride = ctx.meta["stride"]
+        padding = ctx.meta["padding"]
+        kernel = ctx.meta["kernel"]
+        out_spatial = ctx.meta["out_spatial"]
+        nd = len(kernel)
+        n = grad.shape[0]
+
+        gmoved = np.moveaxis(grad, 1, -1)                    # (N, *So, Cout)
+        dxp = np.zeros_like(xp)
+        dw = np.zeros_like(w)
+        contract_axes = [0] + list(range(1, 1 + nd))          # N + spatial of gmoved
+        xs_axes = [0] + list(range(2, 2 + nd))                # N + spatial of xs
+        for offset in product(*(range(k) for k in kernel)):
+            sl = tuple(slice(o, o + (so - 1) * st + 1, st)
+                       for o, so, st in zip(offset, out_spatial, stride))
+            idx = (slice(None), slice(None)) + sl
+            xs = xp[idx]
+            wo = w[(slice(None), slice(None)) + offset]
+            # dW for this offset: contract batch+spatial.
+            dw[(slice(None), slice(None)) + offset] = np.tensordot(
+                gmoved, xs, axes=(contract_axes, xs_axes))
+            # dx contribution: (N, *So, Cout) @ (Cout, Cin) -> (N, *So, Cin)
+            dxs = np.tensordot(gmoved, wo, axes=([nd + 1], [0]))
+            dxp[idx] += np.moveaxis(dxs, -1, 1)
+        # Strip padding.
+        if any(padding):
+            sl = (slice(None), slice(None)) + tuple(
+                slice(p, s - p if p else None)
+                for p, s in zip(padding, dxp.shape[2:]))
+            dx = dxp[sl]
+        else:
+            dx = dxp
+        db = None
+        if ctx.meta["has_bias"]:
+            db = grad.sum(axis=(0,) + tuple(range(2, 2 + nd)))
+        return dx, dw, db, None, None
+
+
+class MaxPoolNd(Function):
+    """Non-overlapping max pooling (stride == kernel); sizes must divide."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, kernel: tuple[int, ...]) -> np.ndarray:
+        nd = x.ndim - 2
+        spatial = x.shape[2:]
+        for s, k in zip(spatial, kernel):
+            if s % k:
+                raise ValueError(f"spatial size {s} not divisible by pool {k}")
+        new_shape = x.shape[:2]
+        for s, k in zip(spatial, kernel):
+            new_shape += (s // k, k)
+        windows = x.reshape(new_shape)
+        pool_axes = tuple(3 + 2 * i for i in range(nd))
+        out = windows.max(axis=pool_axes, keepdims=True)
+        mask = windows == out
+        counts = mask.sum(axis=pool_axes, keepdims=True)
+        ctx.meta.update(mask=mask, counts=counts, pool_axes=pool_axes,
+                        x_shape=x.shape, new_shape=new_shape)
+        return out.squeeze(axis=pool_axes)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        mask = ctx.meta["mask"]
+        counts = ctx.meta["counts"]
+        pool_axes = ctx.meta["pool_axes"]
+        g = grad
+        for ax in pool_axes:
+            g = np.expand_dims(g, ax)
+        dx = (mask * (g / counts)).reshape(ctx.meta["x_shape"])
+        return dx, None
+
+
+class AvgPoolNd(Function):
+    """Non-overlapping average pooling (stride == kernel)."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, kernel: tuple[int, ...]) -> np.ndarray:
+        nd = x.ndim - 2
+        spatial = x.shape[2:]
+        for s, k in zip(spatial, kernel):
+            if s % k:
+                raise ValueError(f"spatial size {s} not divisible by pool {k}")
+        new_shape = x.shape[:2]
+        for s, k in zip(spatial, kernel):
+            new_shape += (s // k, k)
+        pool_axes = tuple(3 + 2 * i for i in range(nd))
+        out = x.reshape(new_shape).mean(axis=pool_axes)
+        ctx.meta.update(pool_axes=pool_axes, x_shape=x.shape, kernel=kernel,
+                        count=int(np.prod(kernel)))
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        pool_axes = ctx.meta["pool_axes"]
+        kernel = ctx.meta["kernel"]
+        shape = ctx.meta["x_shape"]
+        g = grad / ctx.meta["count"]
+        for ax in pool_axes:
+            g = np.expand_dims(g, ax)
+        # Broadcast each singleton pool axis back to its kernel extent.
+        target = list(g.shape)
+        for k, ax in zip(kernel, pool_axes):
+            target[ax] = k
+        dx = np.broadcast_to(g, target).reshape(shape).copy()
+        return dx, None
+
+
+def conv_nd(x: Tensor, w: Tensor, b: Tensor | None = None,
+            stride: int | Sequence[int] = 1,
+            padding: int | Sequence[int] = 0) -> Tensor:
+    """Functional N-d convolution over Tensor operands."""
+    nd = x.ndim - 2
+    return ConvNd.apply(x, w, b, tuplify(stride, nd), tuplify(padding, nd))
+
+
+def conv_transpose_nd(x: Tensor, w: Tensor, b: Tensor | None = None,
+                      stride: int | Sequence[int] = 1,
+                      padding: int | Sequence[int] = 0,
+                      output_padding: int | Sequence[int] = 0) -> Tensor:
+    """Functional N-d transposed convolution.
+
+    Composed from differentiable primitives: zero-stuffing by the stride,
+    constant padding by ``kernel - 1 - padding``, a spatial flip of the
+    weight, a channel transpose and a stride-1 convolution.  The backward
+    pass therefore falls out of the existing op gradients.
+    """
+    nd = x.ndim - 2
+    stride_t = tuplify(stride, nd)
+    padding_t = tuplify(padding, nd)
+    outpad_t = tuplify(output_padding, nd)
+    kernel = w.shape[2:]
+    for k, p, op in zip(kernel, padding_t, outpad_t):
+        if k - 1 - p < 0:
+            raise ValueError("padding larger than kernel-1 is unsupported")
+        if op >= max(stride_t):
+            raise ValueError("output_padding must be < stride")
+
+    xz = ob.zero_stuff(x, stride_t) if any(s > 1 for s in stride_t) else x
+    padw = [(0, 0), (0, 0)] + [
+        (k - 1 - p, k - 1 - p + op)
+        for k, p, op in zip(kernel, padding_t, outpad_t)]
+    xp = ob.pad(xz, padw)
+    wf = ob.flip(w, axis=tuple(range(2, 2 + nd)))
+    wt = ob.moveaxis(wf, 0, 1)  # (Cout, Cin, *K)
+    return conv_nd(xp, wt, b, stride=1, padding=0)
+
+
+def max_pool_nd(x: Tensor, kernel: int | Sequence[int] = 2) -> Tensor:
+    nd = x.ndim - 2
+    return MaxPoolNd.apply(x, tuplify(kernel, nd))
+
+
+def avg_pool_nd(x: Tensor, kernel: int | Sequence[int] = 2) -> Tensor:
+    nd = x.ndim - 2
+    return AvgPoolNd.apply(x, tuplify(kernel, nd))

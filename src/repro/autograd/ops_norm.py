@@ -1,0 +1,91 @@
+"""Batch normalization over (N, C, *spatial) inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .function import Context, Function
+from .tensor import Tensor
+
+__all__ = ["batch_norm"]
+
+
+class BatchNorm(Function):
+    """Training-mode batch norm; statistics are taken over (N, *spatial).
+
+    The backward pass uses the standard fused expression
+
+        dx = gamma * inv_std / M * (M*dy - sum(dy) - xhat * sum(dy*xhat))
+
+    where M is the number of reduced elements per channel.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                eps: float = 1e-5) -> np.ndarray:
+        nd = x.ndim - 2
+        axes = (0,) + tuple(range(2, 2 + nd))
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        xhat = (x - mean) * inv_std
+        gshape = (1, -1) + (1,) * nd
+        out = gamma.reshape(gshape) * xhat + beta.reshape(gshape)
+        m = x.size // x.shape[1]
+        ctx.meta.update(xhat=xhat, inv_std=inv_std, axes=axes, m=m,
+                        gamma=gamma, gshape=gshape)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        xhat = ctx.meta["xhat"]
+        inv_std = ctx.meta["inv_std"]
+        axes = ctx.meta["axes"]
+        m = ctx.meta["m"]
+        gamma = ctx.meta["gamma"].reshape(ctx.meta["gshape"])
+
+        dgamma = (grad * xhat).sum(axis=axes)
+        dbeta = grad.sum(axis=axes)
+        sum_dy = grad.sum(axis=axes, keepdims=True)
+        sum_dy_xhat = (grad * xhat).sum(axis=axes, keepdims=True)
+        dx = gamma * inv_std / m * (m * grad - sum_dy - xhat * sum_dy_xhat)
+        return dx, dgamma, dbeta, None
+
+
+class BatchNormInference(Function):
+    """Evaluation-mode batch norm using fixed running statistics."""
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                running_mean: np.ndarray, running_var: np.ndarray,
+                eps: float = 1e-5) -> np.ndarray:
+        nd = x.ndim - 2
+        gshape = (1, -1) + (1,) * nd
+        inv_std = 1.0 / np.sqrt(running_var.reshape(gshape) + eps)
+        xhat = (x - running_mean.reshape(gshape)) * inv_std
+        ctx.meta.update(xhat=xhat, inv_std=inv_std, gamma=gamma, gshape=gshape,
+                        axes=(0,) + tuple(range(2, 2 + nd)))
+        return gamma.reshape(gshape) * xhat + beta.reshape(gshape)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        xhat = ctx.meta["xhat"]
+        inv_std = ctx.meta["inv_std"]
+        gamma = ctx.meta["gamma"].reshape(ctx.meta["gshape"])
+        axes = ctx.meta["axes"]
+        dgamma = (grad * xhat).sum(axis=axes)
+        dbeta = grad.sum(axis=axes)
+        dx = grad * gamma * inv_std
+        return dx, dgamma, dbeta, None, None, None
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray | None = None,
+               running_var: np.ndarray | None = None,
+               training: bool = True, eps: float = 1e-5) -> Tensor:
+    """Apply batch normalization; see :class:`repro.nn.norm.BatchNorm`."""
+    if training:
+        return BatchNorm.apply(x, gamma, beta, eps)
+    if running_mean is None or running_var is None:
+        raise ValueError("running statistics required in eval mode")
+    return BatchNormInference.apply(x, gamma, beta, running_mean, running_var, eps)

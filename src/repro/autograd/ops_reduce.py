@@ -1,0 +1,121 @@
+"""Reduction operations: sum, mean, max, min."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .function import Context, Function
+from .tensor import Tensor
+
+__all__ = ["sum_", "mean", "max_", "min_"]
+
+
+def _normalize_axis(axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        ctx.meta["shape"] = a.shape
+        ctx.meta["axis"] = _normalize_axis(axis, a.ndim)
+        ctx.meta["keepdims"] = keepdims
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        shape = ctx.meta["shape"]
+        axis = ctx.meta["axis"]
+        if not ctx.meta["keepdims"]:
+            for ax in sorted(axis):
+                grad = np.expand_dims(grad, ax)
+        return np.broadcast_to(grad, shape).copy(), None, None
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        ctx.meta["shape"] = a.shape
+        axes = _normalize_axis(axis, a.ndim)
+        ctx.meta["axis"] = axes
+        ctx.meta["keepdims"] = keepdims
+        ctx.meta["count"] = int(np.prod([a.shape[ax] for ax in axes]))
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        shape = ctx.meta["shape"]
+        axis = ctx.meta["axis"]
+        if not ctx.meta["keepdims"]:
+            for ax in sorted(axis):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape) / ctx.meta["count"]).copy(), None, None
+
+
+class Max(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        out = a.max(axis=axis, keepdims=True)
+        axes = _normalize_axis(axis, a.ndim)
+        # Ties split gradient evenly (matches subgradient convention).
+        mask = (a == out)
+        counts = mask.sum(axis=tuple(axes), keepdims=True)
+        ctx.meta["mask"] = mask
+        ctx.meta["counts"] = counts
+        ctx.meta["axis"] = axes
+        ctx.meta["keepdims"] = keepdims
+        if not keepdims:
+            out = out.squeeze(axis=tuple(axes)) if axis is not None else out.reshape(())
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        axes = ctx.meta["axis"]
+        if not ctx.meta["keepdims"]:
+            for ax in sorted(axes):
+                grad = np.expand_dims(grad, ax)
+        return grad * ctx.meta["mask"] / ctx.meta["counts"], None, None
+
+
+class Min(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        out = a.min(axis=axis, keepdims=True)
+        axes = _normalize_axis(axis, a.ndim)
+        mask = (a == out)
+        counts = mask.sum(axis=tuple(axes), keepdims=True)
+        ctx.meta["mask"] = mask
+        ctx.meta["counts"] = counts
+        ctx.meta["axis"] = axes
+        ctx.meta["keepdims"] = keepdims
+        if not keepdims:
+            out = out.squeeze(axis=tuple(axes)) if axis is not None else out.reshape(())
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        axes = ctx.meta["axis"]
+        if not ctx.meta["keepdims"]:
+            for ax in sorted(axes):
+                grad = np.expand_dims(grad, ax)
+        return grad * ctx.meta["mask"] / ctx.meta["counts"], None, None
+
+
+def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return Sum.apply(a, axis=axis, keepdims=keepdims)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return Mean.apply(a, axis=axis, keepdims=keepdims)
+
+
+def max_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return Max.apply(a, axis=axis, keepdims=keepdims)
+
+
+def min_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return Min.apply(a, axis=axis, keepdims=keepdims)

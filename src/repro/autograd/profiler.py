@@ -1,0 +1,108 @@
+"""Op-level profiler for the autograd engine.
+
+'No optimization without measuring' — this context manager hooks
+``Function.apply`` and the backward dispatcher to record per-op call
+counts and wall time, so hot spots (invariably the N-d convolutions) can
+be identified without external tooling.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .function import Function
+
+__all__ = ["OpStats", "Profile", "profile"]
+
+
+@dataclass
+class OpStats:
+    """Accumulated statistics for one op type."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ms_per_call(self) -> float:
+        return self.seconds / self.calls * 1e3 if self.calls else 0.0
+
+
+@dataclass
+class Profile:
+    """Result of a profiling session."""
+
+    forward: dict[str, OpStats] = field(default_factory=dict)
+    backward: dict[str, OpStats] = field(default_factory=dict)
+
+    def total_seconds(self) -> float:
+        return (sum(s.seconds for s in self.forward.values())
+                + sum(s.seconds for s in self.backward.values()))
+
+    def table(self, top: int = 10) -> str:
+        """Render the hottest ops, forward and backward merged."""
+        merged: dict[str, OpStats] = defaultdict(OpStats)
+        for direction, stats in (("fwd", self.forward), ("bwd", self.backward)):
+            for name, s in stats.items():
+                key = f"{name}.{direction}"
+                merged[key].calls += s.calls
+                merged[key].seconds += s.seconds
+        rows = sorted(merged.items(), key=lambda kv: -kv[1].seconds)[:top]
+        total = max(self.total_seconds(), 1e-12)
+        lines = [f"{'op':<28}{'calls':>8}{'total s':>10}{'ms/call':>10}{'%':>7}"]
+        for name, s in rows:
+            lines.append(f"{name:<28}{s.calls:>8}{s.seconds:>10.4f}"
+                         f"{s.ms_per_call:>10.3f}{100 * s.seconds / total:>6.1f}%")
+        return "\n".join(lines)
+
+
+class profile:
+    """Context manager capturing op timings.
+
+    Usage::
+
+        with profile() as prof:
+            loss = model(x, chi, ubc); loss.backward()
+        print(prof.table())
+    """
+
+    def __enter__(self) -> Profile:
+        self.result = Profile()
+        self._orig_apply = Function.apply.__func__
+
+        profiler = self.result
+
+        def timed_apply(cls, *args, **kwargs):
+            t0 = time.perf_counter()
+            out = self._orig_apply(cls, *args, **kwargs)
+            dt = time.perf_counter() - t0
+            stats = profiler.forward.setdefault(cls.__name__, OpStats())
+            stats.calls += 1
+            stats.seconds += dt
+            # Wrap backward dispatch once per op instance.
+            if out._fn is not None:
+                fn = out._fn
+                orig_backward = fn.backward
+
+                class _Timed(fn):  # type: ignore[misc, valid-type]
+                    @staticmethod
+                    def backward(ctx, grad):
+                        t0 = time.perf_counter()
+                        res = orig_backward(ctx, grad)
+                        dt = time.perf_counter() - t0
+                        bstats = profiler.backward.setdefault(
+                            fn.__name__, OpStats())
+                        bstats.calls += 1
+                        bstats.seconds += dt
+                        return res
+
+                _Timed.__name__ = fn.__name__
+                out._fn = _Timed
+            return out
+
+        Function.apply = classmethod(timed_apply)
+        return self.result
+
+    def __exit__(self, *exc) -> None:
+        Function.apply = classmethod(self._orig_apply)

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``solve``
+    One traditional FEM solve for a given omega; optional GMG solver and
+    ``.vti`` export.
+``train``
+    Multigrid training of MGDiffNet on a Sobol-sampled family; writes a
+    checkpoint whose metadata records the architecture.
+``predict``
+    Load a checkpoint, run inference for an omega, optionally compare
+    against FEM and export fields.
+``scaling``
+    Print a strong-scaling table from the performance model (Figs 9/10).
+``info``
+    Version and component summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_omega(text: str, m: int = 4) -> np.ndarray:
+    parts = [float(v) for v in text.split(",")]
+    if len(parts) != m:
+        raise argparse.ArgumentTypeError(f"omega needs {m} values, got {len(parts)}")
+    return np.asarray(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Distributed multigrid neural solvers "
+        "(SC 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="traditional FEM solve")
+    p.add_argument("--ndim", type=int, default=2, choices=(2, 3))
+    p.add_argument("--resolution", type=int, default=33)
+    p.add_argument("--omega", type=_parse_omega,
+                   default=np.array([0.3105, 1.5386, 0.0932, -1.2442]))
+    p.add_argument("--solver", choices=("direct", "cg", "gmg"), default="direct")
+    p.add_argument("--output", default=None, help=".vti output path")
+
+    p = sub.add_parser("train", help="multigrid training")
+    p.add_argument("--ndim", type=int, default=2, choices=(2, 3))
+    p.add_argument("--resolution", type=int, default=32)
+    p.add_argument("--samples", type=int, default=16)
+    p.add_argument("--strategy", default="half_v",
+                   choices=("v", "w", "f", "half_v"))
+    p.add_argument("--levels", type=int, default=2)
+    p.add_argument("--base-filters", type=int, default=8)
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--max-epochs", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None, help="output .npz path")
+    p.add_argument("--validate", action="store_true",
+                   help="held-out FEM validation after training")
+
+    p = sub.add_parser("predict", help="inference from a checkpoint")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--omega", type=_parse_omega,
+                   default=np.array([0.3105, 1.5386, 0.0932, -1.2442]))
+    p.add_argument("--resolution", type=int, default=None,
+                   help="override inference resolution")
+    p.add_argument("--compare-fem", action="store_true")
+    p.add_argument("--output", default=None, help=".vti output path")
+
+    p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
+    p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
+    p.add_argument("--t-sample", type=float, default=2.8125,
+                   help="seconds/sample (default: paper-calibrated V100)")
+    p.add_argument("--n-params", type=int, default=1_000_000)
+    p.add_argument("--samples", type=int, default=1024)
+    p.add_argument("--local-batch", type=int, default=2)
+    p.add_argument("--max-workers", type=int, default=512)
+
+    sub.add_parser("info", help="version and component summary")
+    return parser
+
+
+# --------------------------------------------------------------------- #
+def _cmd_solve(args) -> int:
+    from .core.problem import PoissonProblem
+    from .fem import GeometricMultigrid
+
+    problem = PoissonProblem(args.ndim, args.resolution)
+    if args.solver == "gmg":
+        grid = problem.grid()
+        gmg = GeometricMultigrid(grid, problem.nu(args.omega),
+                                 problem.bc())
+        u = gmg.solve(tol=1e-9)
+        rep = gmg.last_report
+        print(f"GMG: {gmg.num_levels} levels, {rep.iterations} cycles, "
+              f"residual {rep.residual:.2e}")
+    else:
+        u = problem.fem_solve(args.omega, method=args.solver)
+    print(f"solution range: [{u.min():.4f}, {u.max():.4f}]")
+    if args.output:
+        from .utils.vtk import write_vti
+
+        path = write_vti(args.output, {"u": u, "nu": problem.nu(args.omega)},
+                         spacing=problem.grid().h)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core.checkpoint import save_checkpoint
+    from .core.mg_trainer import MGTrainConfig, MultigridTrainer
+    from .core.mgdiffnet import MGDiffNet
+    from .core.problem import PoissonProblem
+
+    problem = PoissonProblem(args.ndim, args.resolution)
+    dataset = problem.make_dataset(args.samples)
+    model = MGDiffNet(ndim=args.ndim, base_filters=args.base_filters,
+                      depth=args.depth, rng=args.seed)
+    config = MGTrainConfig(batch_size=args.batch_size, lr=args.lr,
+                           max_epochs_per_level=args.max_epochs,
+                           seed=args.seed)
+    trainer = MultigridTrainer(model, problem, dataset,
+                               strategy=args.strategy, levels=args.levels,
+                               config=config)
+    result = trainer.train()
+    print(f"trained {args.strategy} x{args.levels} levels in "
+          f"{result.total_time:.1f}s, final loss {result.final_loss:.5f}")
+    for rec in result.records:
+        print(f"  L{rec.level} ({rec.resolution}^{args.ndim}) {rec.phase}: "
+              f"{rec.result.epochs_run} epochs, {rec.wall_time:.2f}s")
+    if args.validate:
+        from .core.validation import Validator
+
+        res = Validator(problem, n_samples=4).evaluate(model)
+        print(res)
+    if args.checkpoint:
+        path = save_checkpoint(
+            args.checkpoint, model, trainer.trainer.optimizer,
+            epoch=trainer.trainer.global_epoch,
+            extra={"ndim": args.ndim, "base_filters": args.base_filters,
+                   "depth": args.depth, "resolution": args.resolution})
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .core.checkpoint import load_checkpoint
+    from .core.metrics import compare_fields
+    from .core.mgdiffnet import MGDiffNet
+    from .core.problem import PoissonProblem
+
+    # Peek at the metadata to reconstruct the architecture.
+    with np.load(args.checkpoint) as data:
+        meta = {k.split("::", 1)[1]: data[k].item()
+                for k in data.files if k.startswith("meta::")}
+    model = MGDiffNet(ndim=int(meta["ndim"]),
+                      base_filters=int(meta["base_filters"]),
+                      depth=int(meta["depth"]), rng=0)
+    load_checkpoint(args.checkpoint, model)
+    resolution = args.resolution or int(meta["resolution"])
+    problem = PoissonProblem(int(meta["ndim"]), resolution)
+    u = model.predict(problem, args.omega)
+    print(f"predicted field at {resolution}^{meta['ndim']}: "
+          f"range [{u.min():.4f}, {u.max():.4f}]")
+    if args.compare_fem:
+        ref = problem.fem_solve(args.omega)
+        print(f"vs FEM: {compare_fields(u, ref)}")
+    if args.output:
+        from .utils.vtk import write_vti
+
+        path = write_vti(args.output, {"u": u}, spacing=problem.grid().h)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .perf import AZURE_NDV2, BRIDGES2_CPU, strong_scaling_study
+    from .utils.viz import format_table
+
+    spec = AZURE_NDV2 if args.cluster == "azure" else BRIDGES2_CPU
+    ps = []
+    p = 1
+    while p <= args.max_workers:
+        ps.append(p)
+        p *= 2
+    pts = strong_scaling_study(ps, n_samples=args.samples,
+                               t_sample=args.t_sample,
+                               n_params=args.n_params, spec=spec,
+                               local_batch=args.local_batch)
+    rows = [[pt.world_size, pt.nodes, f"{pt.epoch_seconds:.2f}",
+             f"{pt.speedup:.1f}x", f"{pt.efficiency:.3f}"] for pt in pts]
+    print(f"cluster: {spec.name}")
+    print(format_table(["workers", "nodes", "epoch (s)", "speedup", "eff"],
+                       rows))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — reproduction of 'Distributed multigrid "
+          f"neural solvers on megavoxel domains' (SC 2021)")
+    print("components: autograd, nn (U-Net), optim, fem (+GMG), data "
+          "(Sobol/Eq.10), multigrid (V/W/F/Half-V), distributed "
+          "(ring all-reduce), perf (Table 6 models)")
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "scaling": _cmd_scaling,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Core: the MGDiffNet model, problems, trainers, metrics and inference."""
+
+from .problem import PoissonProblem, PoissonProblem2D, PoissonProblem3D
+from .mgdiffnet import MGDiffNet
+from .trainer import Trainer, TrainConfig, TrainResult
+from .mg_trainer import (MultigridTrainer, MGTrainConfig, MGResult,
+                         LevelRecord)
+from .metrics import FieldErrors, compare_fields, relative_l2, linf_error, mae
+from .inference import InferenceTiming, time_inference_vs_fem, predict_batch
+from .checkpoint import save_checkpoint, load_checkpoint
+from .penalty import BoundaryPenaltyLoss
+from .validation import Validator, ValidationResult
+
+__all__ = [
+    "save_checkpoint", "load_checkpoint",
+    "BoundaryPenaltyLoss",
+    "Validator", "ValidationResult",
+    "PoissonProblem", "PoissonProblem2D", "PoissonProblem3D",
+    "MGDiffNet",
+    "Trainer", "TrainConfig", "TrainResult",
+    "MultigridTrainer", "MGTrainConfig", "MGResult", "LevelRecord",
+    "FieldErrors", "compare_fields", "relative_l2", "linf_error", "mae",
+    "InferenceTiming", "time_inference_vs_fem", "predict_batch",
+]

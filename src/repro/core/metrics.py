@@ -1,0 +1,48 @@
+"""Field-comparison metrics (Tables 3-5, 7 of the paper, in numbers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FieldErrors", "compare_fields", "relative_l2", "linf_error", "mae"]
+
+
+def relative_l2(pred: np.ndarray, ref: np.ndarray) -> float:
+    """||pred - ref||_2 / ||ref||_2 over nodal values."""
+    ref_n = np.linalg.norm(ref.ravel())
+    return float(np.linalg.norm((pred - ref).ravel()) / max(ref_n, 1e-300))
+
+
+def linf_error(pred: np.ndarray, ref: np.ndarray) -> float:
+    return float(np.abs(pred - ref).max())
+
+
+def mae(pred: np.ndarray, ref: np.ndarray) -> float:
+    return float(np.abs(pred - ref).mean())
+
+
+@dataclass(frozen=True)
+class FieldErrors:
+    """Bundle of error metrics between a prediction and a reference."""
+
+    rel_l2: float
+    linf: float
+    mae: float
+    ref_range: tuple[float, float]
+
+    def __str__(self) -> str:
+        return (f"rel_L2={self.rel_l2:.4f} Linf={self.linf:.4f} "
+                f"MAE={self.mae:.4f}")
+
+
+def compare_fields(pred: np.ndarray, ref: np.ndarray) -> FieldErrors:
+    pred = np.asarray(pred, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if pred.shape != ref.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {ref.shape}")
+    return FieldErrors(rel_l2=relative_l2(pred, ref),
+                       linf=linf_error(pred, ref),
+                       mae=mae(pred, ref),
+                       ref_range=(float(ref.min()), float(ref.max())))

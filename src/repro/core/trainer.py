@@ -1,0 +1,191 @@
+"""Single-resolution training loop (Algorithm 1 of the paper).
+
+The :class:`Trainer` runs data-free variational training: sample a
+mini-batch of coefficient fields, predict, impose BCs exactly, evaluate the
+FEM energy loss, and step the optimizer.  It exposes both fixed-epoch
+training (multigrid *restriction* phases) and early-stopped training
+(*prolongation* phases / baselines).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.dataloader import BatchSampler
+from ..data.dataset import DiffusivityDataset
+from ..optim import Adam, SGD, EarlyStopping, Optimizer
+from .mgdiffnet import MGDiffNet
+from .problem import PoissonProblem
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for one training run.
+
+    Paper settings: Adam, lr 1e-5, global batch 64 (multigrid study) /
+    lr 1e-4 (scaling study).  The downscaled defaults here train the small
+    test networks in seconds; pass paper values explicitly to mimic them.
+    """
+
+    batch_size: int = 8
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    weight_decay: float = 0.0
+    patience: int = 8
+    min_delta: float = 1e-3
+    min_epochs: int = 3
+    seed: int = 0
+    shuffle: bool = True
+    log_every: int = 0
+    max_time: float | None = None
+
+
+@dataclass
+class TrainResult:
+    """Per-phase training record."""
+
+    resolution: int
+    losses: list[float] = field(default_factory=list)
+    epoch_times: list[float] = field(default_factory=list)
+    wall_time: float = 0.0
+    epochs_run: int = 0
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def best_loss(self) -> float:
+        return min(self.losses) if self.losses else float("nan")
+
+
+class Trainer:
+    """Algorithm 1 driver bound to a (model, problem, dataset) triple."""
+
+    def __init__(self, model: MGDiffNet, problem: PoissonProblem,
+                 dataset: DiffusivityDataset,
+                 config: TrainConfig | None = None) -> None:
+        self.model = model
+        self.problem = problem
+        self.dataset = dataset
+        self.config = config or TrainConfig()
+        self.optimizer = self._make_optimizer()
+        self.global_epoch = 0  # distinct shuffles across phases
+
+    def _make_optimizer(self) -> Optimizer:
+        cfg = self.config
+        params = self.model.parameters()
+        if cfg.optimizer == "adam":
+            return Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        if cfg.optimizer == "sgd":
+            return SGD(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+    def sync_optimizer(self) -> None:
+        """Refresh the optimizer after architectural adaptation."""
+        self.optimizer.sync_params(self.model)
+
+    # ------------------------------------------------------------------ #
+    def run_epoch(self, resolution: int) -> float:
+        """One epoch at the given resolution; returns the mean batch loss."""
+        cfg = self.config
+        inputs = self.dataset.inputs_at(resolution)
+        nus = self.dataset.nu_at(resolution)
+        chi_int, u_bc = self.problem.masks(resolution, dtype=inputs.dtype)
+        energy = self.problem.energy(resolution, reduction="mean")
+        sampler = BatchSampler(len(self.dataset), cfg.batch_size,
+                               seed=cfg.seed, shuffle=cfg.shuffle)
+        self.model.train()
+        total, count = 0.0, 0
+        for idx in sampler.batches(self.global_epoch):
+            x = Tensor(inputs[idx])
+            u = self.model(x, chi_int, u_bc)
+            loss = energy(u, nus[idx])
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total += float(loss.data) * len(idx)
+            count += len(idx)
+        self.global_epoch += 1
+        return total / max(count, 1)
+
+    def evaluate_loss(self, resolution: int) -> float:
+        """Mean energy over the dataset without updating weights."""
+        from ..autograd import no_grad
+
+        inputs = self.dataset.inputs_at(resolution)
+        nus = self.dataset.nu_at(resolution)
+        chi_int, u_bc = self.problem.masks(resolution, dtype=inputs.dtype)
+        energy = self.problem.energy(resolution, reduction="mean")
+        sampler = BatchSampler(len(self.dataset), self.config.batch_size,
+                               shuffle=False)
+        self.model.eval()
+        total, count = 0.0, 0
+        with no_grad():
+            for idx in sampler.batches(0):
+                u = self.model(Tensor(inputs[idx]), chi_int, u_bc)
+                total += float(energy(u, nus[idx]).data) * len(idx)
+                count += len(idx)
+        self.model.train()
+        return total / max(count, 1)
+
+    # ------------------------------------------------------------------ #
+    def train_epochs(self, resolution: int, n_epochs: int) -> TrainResult:
+        """Fixed-epoch training (multigrid restriction phase)."""
+        result = TrainResult(resolution=resolution)
+        start = time.perf_counter()
+        for _ in range(n_epochs):
+            t0 = time.perf_counter()
+            loss = self.run_epoch(resolution)
+            result.epoch_times.append(time.perf_counter() - t0)
+            result.losses.append(loss)
+            result.epochs_run += 1
+            self._maybe_log(result)
+            if self._out_of_time(start):
+                break
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    def train_until_converged(self, resolution: int,
+                              max_epochs: int = 500) -> TrainResult:
+        """Early-stopped training (prolongation phase / baseline)."""
+        cfg = self.config
+        stopper = EarlyStopping(patience=cfg.patience, min_delta=cfg.min_delta,
+                                min_epochs=cfg.min_epochs)
+        result = TrainResult(resolution=resolution)
+        start = time.perf_counter()
+        for _ in range(max_epochs):
+            t0 = time.perf_counter()
+            loss = self.run_epoch(resolution)
+            result.epoch_times.append(time.perf_counter() - t0)
+            result.losses.append(loss)
+            result.epochs_run += 1
+            self._maybe_log(result)
+            if stopper.update(loss):
+                result.stopped_early = True
+                break
+            if self._out_of_time(start):
+                break
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _maybe_log(self, result: TrainResult) -> None:
+        le = self.config.log_every
+        if le and result.epochs_run % le == 0:
+            from ..utils.logging import get_logger
+
+            get_logger().info(
+                "res=%d epoch=%d loss=%.6f (%.2fs)", result.resolution,
+                result.epochs_run, result.losses[-1], result.epoch_times[-1])
+
+    def _out_of_time(self, start: float) -> bool:
+        mt = self.config.max_time
+        return mt is not None and (time.perf_counter() - start) >= mt

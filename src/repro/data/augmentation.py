@@ -1,0 +1,51 @@
+"""Physics-aware data augmentation.
+
+The benchmark problem's geometry (Dirichlet data on the x-faces,
+zero-flux on every other face) is invariant under reflections of all
+*non-BC* axes: if ``u`` solves the problem for ``nu``, then ``flip_y u``
+solves it for ``flip_y nu`` (and likewise z in 3D).  Training inputs can
+therefore be augmented with these reflections for free — a standard trick
+for CNN surrogates that the equivariance tests verify against the FEM
+solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["symmetry_axes", "reflect_field", "augment_batch"]
+
+
+def symmetry_axes(ndim: int) -> tuple[int, ...]:
+    """Spatial axes whose reflection leaves the BVP invariant.
+
+    Axis 0 carries the Dirichlet data and is *not* a symmetry; all other
+    axes have homogeneous Neumann faces and are.
+    """
+    return tuple(range(1, ndim))
+
+
+def reflect_field(field: np.ndarray, axes: tuple[int, ...],
+                  spatial_offset: int = 0) -> np.ndarray:
+    """Flip a field along the given *spatial* axes.
+
+    ``spatial_offset`` maps spatial axis k to array axis
+    ``k + spatial_offset`` (use 2 for batched (N, C, ...) arrays).
+    """
+    if not axes:
+        return field.copy()
+    return np.flip(field, axis=tuple(a + spatial_offset for a in axes)).copy()
+
+
+def augment_batch(inputs: np.ndarray, rng: np.random.Generator,
+                  ndim: int | None = None) -> np.ndarray:
+    """Randomly reflect each sample of a batched (N, C, *spatial) array
+    along a random subset of the symmetry axes."""
+    d = ndim if ndim is not None else inputs.ndim - 2
+    out = inputs.copy()
+    sym = symmetry_axes(d)
+    for i in range(inputs.shape[0]):
+        chosen = tuple(a for a in sym if rng.random() < 0.5)
+        if chosen:
+            out[i] = reflect_field(inputs[i], chosen, spatial_offset=1)
+    return out

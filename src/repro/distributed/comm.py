@@ -1,0 +1,87 @@
+"""Simulated MPI communicator.
+
+Mirrors the mpi4py collective surface (allreduce / bcast / allgather /
+barrier) over ranks that live in one process.  Semantics are exact — the
+Eq. 15 determinism arguments hold bit-for-bit — while *cost* is tracked in
+a virtual clock fed by the performance model (Table 6 interconnects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ring import RingStats, ring_allreduce
+
+__all__ = ["CommLog", "SimulatedCommunicator"]
+
+
+@dataclass
+class CommLog:
+    """Accumulated communication record of a simulated communicator."""
+
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+    broadcast_calls: int = 0
+    barrier_calls: int = 0
+    virtual_comm_seconds: float = 0.0
+
+
+class SimulatedCommunicator:
+    """A COMM_WORLD over ``world_size`` in-process ranks.
+
+    Collectives take *lists indexed by rank* and return the same; this is
+    the natural shape for a sequential simulation of SPMD code.  An
+    optional ``time_model`` callable (message_bytes, world_size) -> seconds
+    charges each collective to the virtual clock.
+    """
+
+    def __init__(self, world_size: int, time_model=None) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self.time_model = time_model
+        self.log = CommLog()
+
+    # ------------------------------------------------------------------ #
+    def allreduce(self, buffers: list[np.ndarray], average: bool = False
+                  ) -> list[np.ndarray]:
+        """Ring all-reduce across ranks (sum or mean)."""
+        self._check(buffers)
+        reduced, stats = ring_allreduce(buffers, average=average)
+        self.log.allreduce_calls += 1
+        self.log.allreduce_bytes += stats.total_bytes
+        self._charge(stats.message_bytes)
+        return reduced
+
+    def broadcast(self, value: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Broadcast root's array to all ranks (tree topology assumed for
+        the cost model: log2(p) hops)."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"invalid root {root}")
+        value = np.asarray(value)
+        self.log.broadcast_calls += 1
+        self._charge(value.nbytes)
+        return [value.copy() for _ in range(self.world_size)]
+
+    def allgather(self, buffers: list[np.ndarray]) -> list[list[np.ndarray]]:
+        """Each rank receives the list of every rank's buffer."""
+        self._check(buffers)
+        gathered = [b.copy() for b in buffers]
+        self._charge(sum(b.nbytes for b in buffers))
+        return [list(gathered) for _ in range(self.world_size)]
+
+    def barrier(self) -> None:
+        self.log.barrier_calls += 1
+
+    # ------------------------------------------------------------------ #
+    def _check(self, buffers: list[np.ndarray]) -> None:
+        if len(buffers) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} rank buffers, got {len(buffers)}")
+
+    def _charge(self, message_bytes: int) -> None:
+        if self.time_model is not None:
+            self.log.virtual_comm_seconds += float(
+                self.time_model(message_bytes, self.world_size))

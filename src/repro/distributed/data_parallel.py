@@ -1,0 +1,237 @@
+"""Data-parallel distributed training (Sec. 3.2 of the paper).
+
+``DataParallelTrainer`` maintains ``world_size`` genuine model replicas,
+splits every global mini-batch into equal local mini-batches (Eq. 15, via
+:func:`repro.data.dataloader.shard_batch`), computes local gradients per
+rank, averages them with a real ring all-reduce, and steps one optimizer
+per rank.  Because replicas stay synchronized, the trained model equals a
+single-worker run up to floating-point reassociation — the property the
+paper calls 'results independent of the number of workers'.
+
+Wall-clock cost of the *simulated* cluster is tracked on a virtual clock:
+per step, compute time is the max over ranks (each charged
+``measured_sample_time * local_batch``) plus the modeled ring-allreduce
+time for ``Nw`` parameters over the chosen interconnect.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.dataloader import BatchSampler, shard_batch
+from ..optim import Adam, SGD
+from .comm import SimulatedCommunicator
+
+__all__ = ["DPConfig", "DPResult", "DataParallelTrainer",
+           "flatten_gradients", "unflatten_to_gradients"]
+
+
+def flatten_gradients(params) -> np.ndarray:
+    """Concatenate parameter gradients into one flat float64 vector
+    (a Horovod-style fusion buffer).  Missing grads contribute zeros."""
+    parts = []
+    for p in params:
+        g = p.grad if p.grad is not None else np.zeros_like(p.data)
+        parts.append(np.asarray(g, dtype=np.float64).ravel())
+    return np.concatenate(parts) if parts else np.zeros(0)
+
+
+def unflatten_to_gradients(flat: np.ndarray, params) -> None:
+    """Scatter a flat vector back into ``p.grad`` slots."""
+    pos = 0
+    for p in params:
+        n = p.data.size
+        p.grad = flat[pos:pos + n].reshape(p.data.shape).astype(p.data.dtype)
+        pos += n
+    if pos != flat.size:
+        raise ValueError(f"flat vector size {flat.size} != total params {pos}")
+
+
+@dataclass
+class DPConfig:
+    """Distributed training configuration."""
+
+    world_size: int = 4
+    batch_size: int = 8          # global mini-batch (paper: 64)
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    seed: int = 0
+    shuffle: bool = True
+    check_sync: bool = False     # assert replica synchronization each step
+    sync_batchnorm_stats: bool = True
+
+
+@dataclass
+class DPResult:
+    """Outcome of a distributed training run."""
+
+    world_size: int
+    losses: list[float] = field(default_factory=list)
+    measured_wall: float = 0.0
+    virtual_compute_seconds: float = 0.0
+    virtual_comm_seconds: float = 0.0
+    steps: int = 0
+
+    @property
+    def virtual_epoch_seconds(self) -> float:
+        n_epochs = max(len(self.losses), 1)
+        return (self.virtual_compute_seconds + self.virtual_comm_seconds) / n_epochs
+
+
+class DataParallelTrainer:
+    """Simulated-cluster data-parallel trainer.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-arg callable constructing one replica.  All replicas are
+        synchronized to replica 0's initial weights via a broadcast.
+    problem, dataset:
+        As for :class:`repro.core.trainer.Trainer`.  The dataset is
+        augmented so its length is divisible by the global batch size and
+        the global batch by the world size (paper's augmentation step).
+    comm_time_model:
+        Optional (message_bytes, p) -> seconds for the virtual clock.
+    compute_time_per_sample:
+        Optional seconds/sample for the virtual clock; when None the
+        measured host time of each rank's work is used instead.
+    """
+
+    def __init__(self, model_factory, problem, dataset, config: DPConfig,
+                 comm_time_model=None,
+                 compute_time_per_sample: float | None = None) -> None:
+        cfg = config
+        if cfg.batch_size % cfg.world_size:
+            raise ValueError("global batch size must divide by world size")
+        self.config = cfg
+        self.problem = problem
+        self.dataset = dataset.padded_to_multiple(
+            np.lcm(cfg.batch_size, cfg.world_size))
+        self.comm = SimulatedCommunicator(cfg.world_size,
+                                          time_model=comm_time_model)
+        self.compute_time_per_sample = compute_time_per_sample
+
+        # Build replicas and broadcast rank-0 weights.
+        self.replicas = [model_factory() for _ in range(cfg.world_size)]
+        state = self.replicas[0].state_dict()
+        for rep in self.replicas[1:]:
+            rep.load_state_dict(state)
+        self.optimizers = [self._make_optimizer(rep) for rep in self.replicas]
+        self.global_epoch = 0
+
+    def _make_optimizer(self, model):
+        cfg = self.config
+        if cfg.optimizer == "adam":
+            return Adam(model.parameters(), lr=cfg.lr)
+        if cfg.optimizer == "sgd":
+            return SGD(model.parameters(), lr=cfg.lr)
+        raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+    @property
+    def model(self):
+        """Rank-0 replica (the canonical trained model)."""
+        return self.replicas[0]
+
+    # ------------------------------------------------------------------ #
+    def train_epochs(self, resolution: int, n_epochs: int) -> DPResult:
+        cfg = self.config
+        result = DPResult(world_size=cfg.world_size)
+        inputs = self.dataset.inputs_at(resolution)
+        nus = self.dataset.nu_at(resolution)
+        chi_int, u_bc = self.problem.masks(resolution, dtype=inputs.dtype)
+        energy = self.problem.energy(resolution, reduction="mean")
+        sampler = BatchSampler(len(self.dataset), cfg.batch_size,
+                               seed=cfg.seed, shuffle=cfg.shuffle)
+        start = time.perf_counter()
+        for _ in range(n_epochs):
+            epoch_loss, batch_count = 0.0, 0
+            for global_idx in sampler.batches(self.global_epoch):
+                loss = self._step(global_idx, inputs, nus, chi_int, u_bc,
+                                  energy, result)
+                epoch_loss += loss
+                batch_count += 1
+            result.losses.append(epoch_loss / max(batch_count, 1))
+            if cfg.sync_batchnorm_stats:
+                self._sync_bn_stats()
+            self.global_epoch += 1
+        result.measured_wall = time.perf_counter() - start
+        result.virtual_comm_seconds = self.comm.log.virtual_comm_seconds
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _step(self, global_idx: np.ndarray, inputs, nus, chi_int, u_bc,
+              energy, result: DPResult) -> float:
+        cfg = self.config
+        shards = shard_batch(global_idx, cfg.world_size)
+        grads, losses, rank_times = [], [], []
+        for rank, (rep, opt, shard) in enumerate(
+                zip(self.replicas, self.optimizers, shards)):
+            t0 = time.perf_counter()
+            rep.train()
+            x = Tensor(inputs[shard])
+            u = rep(x, chi_int, u_bc)
+            loss = energy(u, nus[shard])
+            opt.zero_grad()
+            loss.backward()
+            rank_times.append(time.perf_counter() - t0)
+            grads.append(flatten_gradients(rep.parameters()))
+            losses.append(float(loss.data))
+
+        reduced = self.comm.allreduce(grads, average=True)
+        for rep, opt, g in zip(self.replicas, self.optimizers, reduced):
+            unflatten_to_gradients(g, rep.parameters())
+            opt.step()
+
+        # Virtual clock: lockstep workers wait for the slowest.
+        if self.compute_time_per_sample is not None:
+            local_bs = len(global_idx) // cfg.world_size
+            result.virtual_compute_seconds += (
+                self.compute_time_per_sample * local_bs)
+        else:
+            result.virtual_compute_seconds += max(rank_times)
+        result.steps += 1
+
+        if cfg.check_sync:
+            self._assert_synced()
+        # Global loss = mean of equally-sized local losses.
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------ #
+    def _sync_bn_stats(self) -> None:
+        """Average batch-norm running statistics across replicas.
+
+        Local batches see different samples, so running stats drift apart;
+        averaging them keeps eval-mode behaviour rank-independent.
+        """
+        names = [n for n, _ in self.replicas[0].named_buffers()]
+        for name in names:
+            stacked = []
+            for rep in self.replicas:
+                for n, buf in rep.named_buffers():
+                    if n == name:
+                        stacked.append(np.asarray(buf, dtype=np.float64))
+                        break
+            mean = np.mean(stacked, axis=0)
+            for rep in self.replicas:
+                self._set_buffer(rep, name, mean)
+
+    @staticmethod
+    def _set_buffer(module, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        target = module
+        for p in parts[:-1]:
+            target = getattr(target, p)
+        old = target._buffers[parts[-1]]
+        target.update_buffer(parts[-1], value.astype(np.asarray(old).dtype))
+
+    def _assert_synced(self, atol: float = 0.0) -> None:
+        ref = self.replicas[0].state_dict()
+        for i, rep in enumerate(self.replicas[1:], start=1):
+            for k, v in rep.state_dict().items():
+                if not np.allclose(v, ref[k], atol=atol, rtol=0):
+                    raise AssertionError(
+                        f"replica {i} desynchronized at {k!r}")

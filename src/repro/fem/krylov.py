@@ -1,0 +1,126 @@
+"""Conjugate-gradient solvers written from scratch (no scipy.sparse.linalg).
+
+Provides plain CG, Jacobi-preconditioned CG and GMG-preconditioned CG —
+the latter combines the Sec. 2.3 multigrid substrate with a Krylov outer
+iteration, the workhorse configuration of production FEM codes (and of
+PETSc, which the paper's native implementation builds on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CGReport", "conjugate_gradient", "jacobi_preconditioner",
+           "gmg_preconditioner"]
+
+
+@dataclass
+class CGReport:
+    """Convergence record of one CG solve."""
+
+    iterations: int
+    residual: float
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+
+
+def conjugate_gradient(matvec: Callable[[np.ndarray], np.ndarray] | sp.spmatrix,
+                       b: np.ndarray, x0: np.ndarray | None = None,
+                       tol: float = 1e-10, maxiter: int | None = None,
+                       preconditioner: Callable[[np.ndarray], np.ndarray] | None = None,
+                       ) -> tuple[np.ndarray, CGReport]:
+    """Preconditioned conjugate gradients for SPD systems.
+
+    Parameters
+    ----------
+    matvec:
+        The operator: a sparse matrix or a callable ``v -> A v``.
+    b:
+        Right-hand side.
+    preconditioner:
+        Callable ``r -> M^{-1} r`` (must be SPD).
+
+    Returns the solution and a :class:`CGReport`.
+    """
+    if sp.issparse(matvec):
+        a = matvec
+
+        def apply_a(v: np.ndarray) -> np.ndarray:
+            return a @ v
+    else:
+        apply_a = matvec
+
+    n = b.size
+    maxiter = maxiter if maxiter is not None else 10 * n
+    x = np.zeros_like(b) if x0 is None else x0.astype(np.float64, copy=True)
+    r = b - apply_a(x)
+    z = preconditioner(r) if preconditioner else r
+    p = z.copy()
+    rz = float(r @ z)
+    norm_b = max(float(np.linalg.norm(b)), 1e-300)
+    history = [float(np.linalg.norm(r)) / norm_b]
+    converged = history[0] < tol
+    it = 0
+    while not converged and it < maxiter:
+        it += 1
+        ap = apply_a(p)
+        pap = float(p @ ap)
+        if pap <= 0:
+            raise RuntimeError("operator is not positive definite in CG")
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rel = float(np.linalg.norm(r)) / norm_b
+        history.append(rel)
+        if rel < tol:
+            converged = True
+            break
+        z = preconditioner(r) if preconditioner else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return x, CGReport(iterations=it, residual=history[-1],
+                       converged=converged, residual_history=history)
+
+
+def jacobi_preconditioner(a: sp.spmatrix) -> Callable[[np.ndarray], np.ndarray]:
+    """Diagonal (Jacobi) preconditioner ``r -> D^{-1} r``."""
+    diag = np.asarray(a.diagonal(), dtype=np.float64)
+    if np.any(diag <= 0):
+        raise ValueError("non-positive diagonal; matrix not SPD?")
+    inv = 1.0 / diag
+
+    def apply(r: np.ndarray) -> np.ndarray:
+        return inv * r
+
+    return apply
+
+
+def gmg_preconditioner(gmg, cycles: int = 1
+                       ) -> Callable[[np.ndarray], np.ndarray]:
+    """One (or more) multigrid V-cycles as a CG preconditioner.
+
+    ``gmg`` is a :class:`repro.fem.gmg.GeometricMultigrid` built for the
+    *interior* problem being solved; the returned callable maps a full-grid
+    interior-masked residual vector to an approximate ``A^{-1} r``.
+
+    Note: the homogeneous-Dirichlet error cycle of the GMG object is
+    symmetric enough in practice for CG when used with equal pre/post
+    smoothing (Jacobi is symmetric), which our configuration guarantees.
+    """
+    interior = ~gmg.levels[0].dirichlet
+
+    def apply(r_interior: np.ndarray) -> np.ndarray:
+        r_full = np.zeros(gmg.levels[0].grid.num_nodes)
+        r_full[interior] = r_interior
+        z = np.zeros_like(r_full)
+        for _ in range(cycles):
+            z = z + gmg._cycle(0, r_full - gmg.levels[0].matrix @ z, gamma=1)
+        return z[interior]
+
+    return apply

@@ -1,0 +1,27 @@
+"""Neural-network layers built on :mod:`repro.autograd`.
+
+Provides the Module/Parameter system, convolution / normalization /
+activation / pooling layers, containers, initialization schemes, and the
+dimension-agnostic :class:`UNet` used by MGDiffNet.
+"""
+
+from .module import Module, Parameter
+from .container import Sequential, ModuleList
+from .conv import (ConvNd, Conv2d, Conv3d, ConvTransposeNd,
+                   ConvTranspose2d, ConvTranspose3d)
+from .norm import BatchNorm
+from .groupnorm import GroupNorm
+from .activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from .pooling import MaxPool, AvgPool
+from .unet import UNet, ConvBlock, UpBlock, RefinementBlock
+from . import init
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "ConvNd", "Conv2d", "Conv3d",
+    "ConvTransposeNd", "ConvTranspose2d", "ConvTranspose3d",
+    "BatchNorm", "GroupNorm", "LeakyReLU", "ReLU", "Sigmoid", "Tanh",
+    "MaxPool", "AvgPool",
+    "UNet", "ConvBlock", "UpBlock", "RefinementBlock",
+    "init",
+]

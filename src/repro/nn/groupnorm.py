@@ -1,0 +1,99 @@
+"""Group normalization — the batch-size-robust alternative to batch norm.
+
+The paper's scaling runs use a *local batch of 2* (memory bound), where
+batch-norm statistics are extremely noisy and differ per data-parallel
+rank.  GroupNorm (Wu & He, 2018) normalizes over channel groups within
+each sample, making the model's behaviour independent of (local) batch
+size — a natural robustness extension for the megavoxel regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.function import Context, Function
+from .module import Module, Parameter
+
+__all__ = ["GroupNorm"]
+
+
+class _GroupNormFn(Function):
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, gamma: np.ndarray,
+                beta: np.ndarray, num_groups: int, eps: float) -> np.ndarray:
+        n, c = x.shape[:2]
+        spatial = x.shape[2:]
+        g = num_groups
+        xg = x.reshape(n, g, c // g, *spatial)
+        axes = tuple(range(2, xg.ndim))
+        mean = xg.mean(axis=axes, keepdims=True)
+        var = xg.var(axis=axes, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        xhat = ((xg - mean) * inv_std).reshape(x.shape)
+        gshape = (1, c) + (1,) * len(spatial)
+        out = gamma.reshape(gshape) * xhat + beta.reshape(gshape)
+        m = int(np.prod(xg.shape[2:]))
+        ctx.meta.update(xhat=xhat, inv_std=inv_std, g=g, m=m,
+                        gamma=gamma, gshape=gshape, x_shape=x.shape)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        xhat = ctx.meta["xhat"]
+        inv_std = ctx.meta["inv_std"]
+        g = ctx.meta["g"]
+        m = ctx.meta["m"]
+        gshape = ctx.meta["gshape"]
+        gamma = ctx.meta["gamma"].reshape(gshape)
+        x_shape = ctx.meta["x_shape"]
+        n, c = x_shape[:2]
+        spatial = x_shape[2:]
+
+        reduce_axes = (0,) + tuple(range(2, len(x_shape)))
+        dgamma = (grad * xhat).sum(axis=reduce_axes)
+        dbeta = grad.sum(axis=reduce_axes)
+
+        dxhat = (grad * gamma).reshape(n, g, c // g, *spatial)
+        xh = xhat.reshape(n, g, c // g, *spatial)
+        axes = tuple(range(2, dxhat.ndim))
+        sum_dx = dxhat.sum(axis=axes, keepdims=True)
+        sum_dx_xh = (dxhat * xh).sum(axis=axes, keepdims=True)
+        dx = inv_std / m * (m * dxhat - sum_dx - xh * sum_dx_xh)
+        return dx.reshape(x_shape), dgamma, dbeta, None, None
+
+
+class GroupNorm(Module):
+    """Normalize over channel groups per sample.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of channel groups; must divide ``num_channels``.
+        ``num_groups == num_channels`` is InstanceNorm,
+        ``num_groups == 1`` is LayerNorm over (C, spatial).
+    """
+
+    def __init__(self, num_groups: int, num_channels: int,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"channels {num_channels} not divisible by groups {num_groups}")
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_channels, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"GroupNorm expected {self.num_channels} channels, "
+                f"got {x.shape[1]}")
+        return _GroupNormFn.apply(x, self.gamma, self.beta,
+                                  self.num_groups, self.eps)
+
+    def __repr__(self) -> str:
+        return (f"GroupNorm(groups={self.num_groups}, "
+                f"channels={self.num_channels})")

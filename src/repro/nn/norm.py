@@ -1,0 +1,62 @@
+"""Batch normalization layer with running statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, batch_norm
+from .module import Module, Parameter
+from . import init
+
+__all__ = ["BatchNorm"]
+
+
+class BatchNorm(Module):
+    """Batch normalization over (N, *spatial) per channel.
+
+    Training mode normalizes with batch statistics and updates exponential
+    running averages; evaluation mode uses the running averages — matching
+    the behaviour assumed by the paper's U-Net blocks.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm expected {self.num_features} channels, got {x.shape[1]}")
+        if self.training:
+            nd = x.ndim - 2
+            axes = (0,) + tuple(range(2, 2 + nd))
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            m = self.momentum
+            self.update_buffer(
+                "running_mean",
+                ((1 - m) * self.running_mean + m * batch_mean).astype(np.float32))
+            # Unbiased variance for the running estimate (torch convention).
+            n = x.data.size // x.shape[1]
+            unbiased = batch_var * (n / max(n - 1, 1))
+            self.update_buffer(
+                "running_var",
+                ((1 - m) * self.running_var + m * unbiased).astype(np.float32))
+            self.update_buffer("num_batches_tracked",
+                               self.num_batches_tracked + 1)
+            return batch_norm(x, self.gamma, self.beta, training=True, eps=self.eps)
+        return batch_norm(x, self.gamma, self.beta,
+                          running_mean=self.running_mean,
+                          running_var=self.running_var,
+                          training=False, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm({self.num_features}, eps={self.eps}, momentum={self.momentum})"

@@ -1,0 +1,13 @@
+"""Optimization: SGD/Adam, LR schedules, early stopping."""
+
+from .optimizer import Optimizer
+from .sgd import SGD
+from .adam import Adam
+from .lr_scheduler import LRScheduler, StepLR, ExponentialLR, CosineAnnealingLR
+from .early_stopping import EarlyStopping
+
+__all__ = [
+    "Optimizer", "SGD", "Adam",
+    "LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR",
+    "EarlyStopping",
+]

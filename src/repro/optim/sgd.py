@@ -1,0 +1,42 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Classic SGD: ``v = mu*v + g``, ``p -= lr * v``."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"invalid momentum {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                st = self.state.setdefault(i, {})
+                v = st.get("velocity")
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v + g
+                st["velocity"] = v
+                g = v
+            p.data -= (self.lr * g).astype(p.data.dtype)

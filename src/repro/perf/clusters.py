@@ -1,0 +1,74 @@
+"""Cluster hardware models (paper Table 6).
+
+These specs drive the virtual-clock communication model used to reproduce
+the strong-scaling studies (Figs. 9 and 10) without the physical testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterSpec", "AZURE_NDV2", "BRIDGES2_CPU"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Interconnect and node model of a cluster.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    devices_per_node:
+        Workers per node (8 GPUs on Azure NDv2; 1 MPI process per CPU node
+        on Bridges2 per Sec. 4.2.2).
+    bandwidth_gbps:
+        Inter-node interconnect bandwidth, gigabits/s (Table 6).
+    latency_us:
+        Per-message latency, microseconds (typical InfiniBand RDMA).
+    intra_node_bandwidth_gbps:
+        Bandwidth between workers in the same node (NVLink for NDv2);
+        unused when ``devices_per_node == 1``.
+    """
+
+    name: str
+    devices_per_node: int
+    bandwidth_gbps: float
+    latency_us: float
+    intra_node_bandwidth_gbps: float | None = None
+    notes: str = ""
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_us * 1e-6
+
+    def nodes_for(self, world_size: int) -> int:
+        """Number of nodes hosting ``world_size`` workers."""
+        return -(-world_size // self.devices_per_node)
+
+
+#: Azure NDv2-series VMs: 8x V100 32GB per node, EDR InfiniBand 100 Gb/s,
+#: fat-tree topology (Table 6).
+AZURE_NDV2 = ClusterSpec(
+    name="Azure NDv2 (8x V100, EDR IB)",
+    devices_per_node=8,
+    bandwidth_gbps=100.0,
+    latency_us=2.0,
+    intra_node_bandwidth_gbps=2400.0,  # NVLink2 aggregate
+    notes="Fig. 9 testbed: up to 64 nodes / 512 GPUs, local batch 2",
+)
+
+#: PSC Bridges2 regular-memory nodes: AMD EPYC-7742 (128 cores, 256 GB),
+#: HDR InfiniBand 200 Gb/s, 1 MPI process per node (Sec. 4.2.2).
+BRIDGES2_CPU = ClusterSpec(
+    name="PSC Bridges2 (EPYC-7742, HDR IB)",
+    devices_per_node=1,
+    bandwidth_gbps=200.0,
+    latency_us=1.5,
+    intra_node_bandwidth_gbps=None,
+    notes="Fig. 10 testbed: up to 128 nodes, 1 process/node, 128 OpenMP threads",
+)

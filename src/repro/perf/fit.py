@@ -1,0 +1,56 @@
+"""Power-law fitting for compute-cost extrapolation.
+
+Fig. 2 of the paper shows epoch time growing with resolution; the
+extrapolations behind Figs. 9-10 rest on the cost being a power law in
+the voxel count.  This module fits ``t = a * dofs^b`` to measured
+points (log-log least squares) and reports the exponent, so the
+extrapolation assumption is *checked*, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .measure import EpochTimePoint
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """t = coefficient * x^exponent, with goodness of fit."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        return self.coefficient * np.asarray(x, dtype=np.float64) ** self.exponent
+
+
+def fit_power_law(xs, ys) -> PowerLawFit:
+    """Least-squares fit of ``y = a x^b`` in log-log space.
+
+    Accepts raw sequences or :class:`EpochTimePoint` lists (using dofs
+    as x and epoch seconds as y).
+    """
+    if len(xs) and isinstance(xs[0], EpochTimePoint):
+        points = xs
+        xs = [p.dofs for p in points]
+        ys = [p.epoch_seconds for p in points]
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need >= 2 matching points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    b, log_a = np.polyfit(lx, ly, 1)
+    pred = b * lx + log_a
+    ss_res = float(((ly - pred) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(coefficient=float(np.exp(log_a)), exponent=float(b),
+                       r_squared=r2)

@@ -1,0 +1,134 @@
+"""Analytic performance model for distributed training.
+
+Cost structure (Sec. 3.2 of the paper):
+
+* per step, every worker computes forward+backward on its local mini-batch
+  — perfectly parallel;
+* gradients are averaged with a ring all-reduce whose time is the classic
+  alpha-beta model ``2 (p-1) (alpha + (N/p) / BW)`` — bandwidth-optimal,
+  near-independent of p for large messages (the paper's ``O(Nw + log p)``);
+* an epoch is ``ceil(Ns / global_batch)`` steps.
+
+Two regimes are supported: *fixed global batch* (classic strong scaling;
+steps constant, local batch shrinks) and *fixed local batch* (the paper's
+Figs. 9-10 protocol: local batch pinned at 2 by memory, so the global
+batch grows and the number of steps per epoch falls with p).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .clusters import ClusterSpec
+
+__all__ = ["ring_allreduce_time", "step_time", "epoch_time",
+           "ScalingPoint", "strong_scaling_study", "compute_time_at_resolution"]
+
+
+def ring_allreduce_time(message_bytes: int, world_size: int,
+                        spec: ClusterSpec) -> float:
+    """Alpha-beta ring all-reduce time.
+
+    Each of the ``2 (p-1)`` steps moves one ``N/p`` chunk per worker.
+    Steps whose partner sits in the same node use the intra-node link when
+    the spec has one (hybrid paradigm, Fig. 6): in a ring laid out node by
+    node, ``(d-1)/d`` of the hops are intra-node for d devices/node.
+    """
+    p = world_size
+    if p <= 1:
+        return 0.0
+    chunk = message_bytes / p
+    steps = 2 * (p - 1)
+    d = spec.devices_per_node
+    if d > 1 and spec.intra_node_bandwidth_gbps and p > d:
+        intra_frac = (d - 1) / d
+        intra_bw = spec.intra_node_bandwidth_gbps * 1e9 / 8.0
+        t_intra = chunk / intra_bw + spec.latency_s * 0.1
+        t_inter = chunk / spec.bandwidth_bytes_per_s + spec.latency_s
+        per_step = intra_frac * t_intra + (1 - intra_frac) * t_inter
+    elif d > 1 and spec.intra_node_bandwidth_gbps and p <= d:
+        intra_bw = spec.intra_node_bandwidth_gbps * 1e9 / 8.0
+        per_step = chunk / intra_bw + spec.latency_s * 0.1
+    else:
+        per_step = chunk / spec.bandwidth_bytes_per_s + spec.latency_s
+    return steps * per_step
+
+
+def step_time(world_size: int, local_batch: int, t_sample: float,
+              n_params: int, spec: ClusterSpec,
+              bytes_per_param: int = 4) -> float:
+    """One optimizer step: local compute + gradient all-reduce."""
+    return (t_sample * local_batch
+            + ring_allreduce_time(n_params * bytes_per_param, world_size, spec))
+
+
+def epoch_time(world_size: int, n_samples: int, t_sample: float,
+               n_params: int, spec: ClusterSpec,
+               local_batch: int | None = None,
+               global_batch: int | None = None,
+               bytes_per_param: int = 4) -> float:
+    """Wall-clock time of one training epoch.
+
+    Give exactly one of ``local_batch`` (paper protocol: fixed per-worker
+    batch) or ``global_batch`` (fixed total batch).
+    """
+    if (local_batch is None) == (global_batch is None):
+        raise ValueError("specify exactly one of local_batch / global_batch")
+    if local_batch is not None:
+        gb = local_batch * world_size
+        lb = local_batch
+    else:
+        gb = global_batch
+        if gb % world_size:
+            raise ValueError("global batch must divide by world size")
+        lb = gb // world_size
+    n_steps = math.ceil(n_samples / gb)
+    return n_steps * step_time(world_size, lb, t_sample, n_params, spec,
+                               bytes_per_param)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling curve."""
+
+    world_size: int
+    nodes: int
+    epoch_seconds: float
+    speedup: float
+    efficiency: float
+
+
+def strong_scaling_study(world_sizes: list[int], n_samples: int,
+                         t_sample: float, n_params: int, spec: ClusterSpec,
+                         local_batch: int | None = 2,
+                         global_batch: int | None = None,
+                         bytes_per_param: int = 4) -> list[ScalingPoint]:
+    """Epoch time / speedup / efficiency across worker counts.
+
+    Defaults follow the paper's protocol (local batch fixed at 2).
+    Speedup is relative to the smallest world size in the list.
+    """
+    times = [epoch_time(p, n_samples, t_sample, n_params, spec,
+                        local_batch=local_batch, global_batch=global_batch,
+                        bytes_per_param=bytes_per_param)
+             for p in world_sizes]
+    base_p, base_t = world_sizes[0], times[0]
+    out = []
+    for p, t in zip(world_sizes, times):
+        speedup = base_t / t
+        out.append(ScalingPoint(world_size=p, nodes=spec.nodes_for(p),
+                                epoch_seconds=t, speedup=speedup,
+                                efficiency=speedup / (p / base_p)))
+    return out
+
+
+def compute_time_at_resolution(t_ref: float, r_ref: int, r_target: int,
+                               ndim: int) -> float:
+    """Extrapolate per-sample compute time across resolutions.
+
+    A fully convolutional network's FLOPs are proportional to the voxel
+    count, so ``t ~ (R / R_ref)^ndim``.  Used to scale a measured
+    small-grid time up to the paper's 256^3 / 512^3 domains.
+    """
+    return t_ref * (r_target / r_ref) ** ndim

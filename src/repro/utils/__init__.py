@@ -1,0 +1,13 @@
+"""Shared utilities: seeding, logging, text visualization, VTK output."""
+
+from .seeding import make_rng, spawn_rngs, seed_everything
+from .logging import get_logger, Stopwatch
+from .viz import ascii_field, write_csv, format_table
+from .vtk import write_vti, read_vti
+
+__all__ = [
+    "make_rng", "spawn_rngs", "seed_everything",
+    "get_logger", "Stopwatch",
+    "ascii_field", "write_csv", "format_table",
+    "write_vti", "read_vti",
+]

@@ -1,0 +1,52 @@
+"""Minimal structured logging for trainers and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+
+__all__ = ["get_logger", "Stopwatch"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger (stream handler attached once)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            work()
+        sw.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None
+        self.elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None

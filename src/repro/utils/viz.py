@@ -1,0 +1,71 @@
+"""Text-mode field visualization and CSV report helpers.
+
+The paper's Tables 3-5/7 show heat-map comparisons of predicted vs FEM
+fields; without a display stack we render ASCII heat maps and dump CSV so
+results remain inspectable from a terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_field", "write_csv", "format_table"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_field(field: np.ndarray, width: int = 32, height: int = 16,
+                vmin: float | None = None, vmax: float | None = None) -> str:
+    """Render a 2D array (or mid-slice of a 3D array) as ASCII art."""
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim == 3:
+        f = f[f.shape[0] // 2]
+    if f.ndim != 2:
+        raise ValueError(f"expected 2D/3D field, got ndim={f.ndim}")
+    # Downsample by striding to the target character grid.
+    ys = np.linspace(0, f.shape[0] - 1, num=min(height, f.shape[0])).astype(int)
+    xs = np.linspace(0, f.shape[1] - 1, num=min(width, f.shape[1])).astype(int)
+    sub = f[np.ix_(ys, xs)]
+    lo = vmin if vmin is not None else float(sub.min())
+    hi = vmax if vmax is not None else float(sub.max())
+    if hi - lo < 1e-30:
+        hi = lo + 1.0
+    norm = np.clip((sub - lo) / (hi - lo), 0.0, 1.0)
+    idx = (norm * (len(_RAMP) - 1)).astype(int)
+    lines = ["".join(_RAMP[i] for i in row) for row in idx]
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, header: Sequence[str],
+              rows: Iterable[Sequence]) -> Path:
+    """Write rows to a CSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence],
+                 float_fmt: str = "{:.4g}") -> str:
+    """Format rows as a fixed-width text table (paper-style report)."""
+    str_rows = []
+    for row in rows:
+        str_rows.append([
+            float_fmt.format(v) if isinstance(v, float) else str(v) for v in row])
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(header, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

@@ -1,0 +1,67 @@
+"""Autograd profiler tests."""
+
+import numpy as np
+
+from repro.autograd import Tensor, conv_nd
+from repro.autograd.function import Function
+from repro.autograd.profiler import profile
+
+
+class TestProfiler:
+    def test_records_forward_ops(self):
+        with profile() as prof:
+            x = Tensor(np.ones((2, 2)), requires_grad=True)
+            y = (x * 2.0 + 1.0).sum()
+        assert prof.forward["Mul"].calls == 1
+        assert prof.forward["Add"].calls == 1
+        assert prof.forward["Sum"].calls == 1
+        assert prof.total_seconds() > 0
+
+    def test_records_backward_ops(self):
+        with profile() as prof:
+            x = Tensor(np.ones((2, 2)), requires_grad=True)
+            (x * 3.0).sum().backward()
+        assert prof.backward["Mul"].calls == 1
+        assert prof.backward["Sum"].calls == 1
+
+    def test_conv_dominates_network_time(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 4, 16, 16)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((8, 4, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        with profile() as prof:
+            for _ in range(3):
+                conv_nd(x, w, padding=1).sum().backward()
+        assert prof.forward["ConvNd"].calls == 3
+        assert prof.backward["ConvNd"].calls == 3
+
+    def test_apply_restored_after_exit(self):
+        orig = Function.apply.__func__
+        with profile():
+            pass
+        assert Function.apply.__func__ is orig
+
+    def test_restored_even_on_exception(self):
+        orig = Function.apply.__func__
+        try:
+            with profile():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert Function.apply.__func__ is orig
+
+    def test_table_renders(self):
+        with profile() as prof:
+            x = Tensor(np.ones(4), requires_grad=True)
+            (x * x).sum().backward()
+        table = prof.table()
+        assert "Mul" in table
+        assert "%" in table
+
+    def test_no_recording_outside_context(self):
+        with profile() as prof:
+            pass
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert "Mul" not in prof.forward

@@ -1,0 +1,71 @@
+"""Metrics and inference timing."""
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core import (compare_fields, relative_l2, linf_error, mae,
+                        time_inference_vs_fem, predict_batch)
+
+
+class TestMetrics:
+    def test_zero_error(self):
+        a = np.ones((4, 4))
+        e = compare_fields(a, a)
+        assert e.rel_l2 == 0 and e.linf == 0 and e.mae == 0
+
+    def test_relative_l2(self):
+        ref = np.array([3.0, 4.0])
+        pred = np.array([3.0, 4.0]) * 1.1
+        assert relative_l2(pred, ref) == pytest.approx(0.1)
+
+    def test_linf_mae(self):
+        ref = np.zeros(4)
+        pred = np.array([0.0, -2.0, 1.0, 0.0])
+        assert linf_error(pred, ref) == 2.0
+        assert mae(pred, ref) == pytest.approx(0.75)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_fields(np.zeros(3), np.zeros(4))
+
+    def test_str_format(self):
+        e = compare_fields(np.ones(4), np.ones(4) * 2)
+        assert "rel_L2" in str(e)
+        assert e.ref_range == (2.0, 2.0)
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        problem = PoissonProblem2D(16)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=2, rng=1)
+        return problem, model
+
+    def test_timing_fields(self, setup):
+        problem, model = setup
+        t = time_inference_vs_fem(model, problem, np.zeros(4), repeats=1)
+        assert t.inference_seconds > 0
+        assert t.fem_seconds > 0
+        assert t.speedup == pytest.approx(t.fem_seconds / t.inference_seconds)
+        assert t.resolution == 16
+
+    def test_predict_batch(self, setup):
+        problem, model = setup
+        omegas = np.zeros((3, 4))
+        out = predict_batch(model, problem, omegas)
+        assert out.shape == (3, 16, 16)
+        # Identical omegas -> identical predictions.
+        np.testing.assert_allclose(out[0], out[1], atol=1e-7)
+
+    def test_predict_batch_single_omega(self, setup):
+        problem, model = setup
+        out = predict_batch(model, problem, np.zeros(4))
+        assert out.shape == (1, 16, 16)
+
+    def test_predict_batch_matches_predict(self, setup):
+        problem, model = setup
+        omega = np.array([0.5, -1.0, 0.2, 0.1])
+        single = model.predict(problem, omega)
+        batch = predict_batch(model, problem, omega[None])[0]
+        np.testing.assert_allclose(single, batch, atol=1e-6)

@@ -1,0 +1,81 @@
+"""MGDiffNet: exact BC imposition and inference."""
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D, PoissonProblem3D
+from repro.autograd import Tensor
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return PoissonProblem2D(16)
+
+
+@pytest.fixture()
+def model():
+    return MGDiffNet(ndim=2, base_filters=4, depth=2, rng=3)
+
+
+class TestBCImposition:
+    def test_dirichlet_exact_regardless_of_weights(self, problem, model):
+        """Algorithm 1 line 8: output is exactly the BC data on the
+        Dirichlet faces no matter what the network produces."""
+        x = Tensor(np.random.default_rng(0).standard_normal(
+            (2, 1, 16, 16)).astype(np.float32))
+        chi_int, u_bc = problem.masks(16)
+        u = model(x, chi_int, u_bc).data
+        np.testing.assert_array_equal(u[:, 0, 0, :], 1.0)
+        np.testing.assert_array_equal(u[:, 0, -1, :], 0.0)
+
+    def test_interior_in_unit_interval(self, problem, model):
+        x = Tensor(np.random.default_rng(1).standard_normal(
+            (1, 1, 16, 16)).astype(np.float32))
+        chi_int, u_bc = problem.masks(16)
+        u = model(x, chi_int, u_bc).data
+        assert u.min() >= 0.0 and u.max() <= 1.0
+
+    def test_gradient_blocked_on_boundary(self, problem, model):
+        """Masking stops gradients from flowing into boundary predictions
+        (BCs are data, not learnable)."""
+        x = Tensor(np.random.default_rng(2).standard_normal(
+            (1, 1, 16, 16)).astype(np.float32))
+        chi_int, u_bc = problem.masks(16)
+        u = model(x, chi_int, u_bc)
+        # Loss only on boundary entries -> zero gradient everywhere.
+        mask = np.zeros_like(u.data)
+        mask[:, :, 0, :] = 1.0
+        (u * Tensor(mask)).sum().backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert all(np.abs(g).max() < 1e-12 for g in grads)
+
+
+class TestPredict:
+    def test_predict_shape_and_bcs(self, problem, model):
+        u = model.predict(problem, np.zeros(4))
+        assert u.shape == (16, 16)
+        np.testing.assert_array_equal(u[0], 1.0)
+        np.testing.assert_array_equal(u[-1], 0.0)
+
+    def test_predict_at_other_resolution(self, problem, model):
+        assert model.predict(problem, np.zeros(4), resolution=8).shape == (8, 8)
+
+    def test_predict_restores_training_mode(self, problem, model):
+        model.train()
+        model.predict(problem, np.zeros(4))
+        assert model.training
+
+    def test_predict_3d(self):
+        problem = PoissonProblem3D(8)
+        model = MGDiffNet(ndim=3, base_filters=4, depth=1, rng=0)
+        u = model.predict(problem, np.zeros(4))
+        assert u.shape == (8, 8, 8)
+        np.testing.assert_array_equal(u[0], 1.0)
+
+    def test_num_weights(self, model):
+        assert model.num_weights == model.num_parameters() > 0
+
+    def test_adapt_increases_weights(self, model):
+        n0 = model.num_weights
+        model.adapt(rng=1)
+        assert model.num_weights > n0

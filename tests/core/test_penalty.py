@@ -1,0 +1,92 @@
+"""Boundary-penalty loss tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.penalty import BoundaryPenaltyLoss
+from repro.fem import UniformGrid, EnergyLoss, canonical_bc
+
+
+@pytest.fixture
+def setup():
+    grid = UniformGrid(2, 8)
+    bc = canonical_bc(grid)
+    energy = EnergyLoss(grid, reduction="mean")
+    return grid, bc, energy
+
+
+class TestPenaltyLoss:
+    def test_zero_weight_equals_energy(self, setup):
+        grid, bc, energy = setup
+        rng = np.random.default_rng(0)
+        u = Tensor(rng.standard_normal((2, 1) + grid.shape), dtype=np.float64)
+        nu = np.exp(0.1 * rng.standard_normal((2, 1) + grid.shape))
+        loss = BoundaryPenaltyLoss(energy, bc, weight=0.0)
+        assert float(loss(u, nu).data) == pytest.approx(
+            float(energy(u, nu).data), rel=1e-12)
+
+    def test_penalty_positive_when_bc_violated(self, setup):
+        grid, bc, energy = setup
+        u = Tensor(np.zeros((1, 1) + grid.shape), dtype=np.float64)  # u=0 != 1 at x=0
+        nu = np.ones((1, 1) + grid.shape)
+        l0 = BoundaryPenaltyLoss(energy, bc, weight=0.0)
+        l1 = BoundaryPenaltyLoss(energy, bc, weight=10.0)
+        assert float(l1(u, nu).data) > float(l0(u, nu).data)
+
+    def test_penalty_zero_when_bc_satisfied(self, setup):
+        grid, bc, energy = setup
+        u_np = bc.lift()[None, None].copy()
+        u = Tensor(u_np, dtype=np.float64)
+        nu = np.ones((1, 1) + grid.shape)
+        l0 = BoundaryPenaltyLoss(energy, bc, weight=0.0)
+        l1 = BoundaryPenaltyLoss(energy, bc, weight=100.0)
+        assert float(l1(u, nu).data) == pytest.approx(float(l0(u, nu).data))
+
+    def test_gradient_flows_to_boundary(self, setup):
+        grid, bc, energy = setup
+        u = Tensor(np.zeros((1, 1) + grid.shape), requires_grad=True,
+                   dtype=np.float64)
+        nu = np.ones((1, 1) + grid.shape)
+        loss = BoundaryPenaltyLoss(energy, bc, weight=5.0)
+        loss(u, nu).backward()
+        # Penalty pushes boundary values toward the data.
+        assert np.abs(u.grad[0, 0][bc.mask]).max() > 0
+
+    def test_violation_metric(self, setup):
+        grid, bc, energy = setup
+        loss = BoundaryPenaltyLoss(energy, bc, weight=1.0)
+        u = np.zeros((1, 1) + grid.shape)
+        v = loss.boundary_violation(u)
+        # Half the Dirichlet nodes sit at g=1, half at g=0.
+        assert v == pytest.approx(np.sqrt(0.5), rel=1e-6)
+
+    def test_negative_weight_rejected(self, setup):
+        grid, bc, energy = setup
+        with pytest.raises(ValueError):
+            BoundaryPenaltyLoss(energy, bc, weight=-1.0)
+
+    def test_penalty_minimization_approaches_dirichlet(self, setup):
+        """Large lambda drives the solution toward the exact-BC one —
+        but only approximately, which is the paper's motivation."""
+        from repro.nn import Parameter
+        from repro.optim import Adam
+        from repro.fem import FEMSolver
+
+        grid, bc, energy_mean = setup
+        energy = EnergyLoss(grid, reduction="sum")
+        nu = np.ones(grid.shape)
+        ref = FEMSolver(grid).solve(nu, bc)
+
+        theta = Parameter(np.full((1, 1) + grid.shape, 0.5, dtype=np.float64))
+        loss = BoundaryPenaltyLoss(energy, bc, weight=200.0)
+        opt = Adam([theta], lr=0.05)
+        for _ in range(300):
+            j = loss(theta, nu[None, None])
+            opt.zero_grad()
+            j.backward()
+            opt.step()
+        err = np.abs(theta.data[0, 0] - ref).max()
+        violation = loss.boundary_violation(theta.data)
+        assert err < 0.15          # close, but...
+        assert violation > 1e-5    # ...the BCs are never exact

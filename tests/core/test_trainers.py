@@ -1,0 +1,139 @@
+"""Trainer and MultigridTrainer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import (MGDiffNet, PoissonProblem2D, Trainer, TrainConfig,
+                   MultigridTrainer, MGTrainConfig)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return PoissonProblem2D(16)
+
+
+@pytest.fixture(scope="module")
+def dataset(problem):
+    return problem.make_dataset(8)
+
+
+def _model():
+    return MGDiffNet(ndim=2, base_filters=4, depth=2, rng=13)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, problem, dataset):
+        t = Trainer(_model(), problem, dataset,
+                    TrainConfig(batch_size=4, lr=3e-3))
+        r = t.train_epochs(16, 8)
+        assert r.losses[-1] < r.losses[0]
+        assert r.epochs_run == 8
+        assert len(r.epoch_times) == 8
+        assert r.wall_time > 0
+
+    def test_early_stopping_triggers(self, problem, dataset):
+        # lr=tiny so loss plateaus immediately.
+        t = Trainer(_model(), problem, dataset,
+                    TrainConfig(batch_size=4, lr=1e-12, patience=2,
+                                min_delta=1e-3, min_epochs=0))
+        r = t.train_until_converged(16, max_epochs=50)
+        assert r.stopped_early
+        assert r.epochs_run <= 10
+
+    def test_max_time_budget(self, problem, dataset):
+        t = Trainer(_model(), problem, dataset,
+                    TrainConfig(batch_size=4, max_time=0.0))
+        r = t.train_epochs(16, 100)
+        assert r.epochs_run == 1  # stops after the first epoch check
+
+    def test_deterministic_given_seed(self, problem, dataset):
+        r1 = Trainer(_model(), problem, dataset,
+                     TrainConfig(batch_size=4, seed=5)).train_epochs(16, 2)
+        r2 = Trainer(_model(), problem, dataset,
+                     TrainConfig(batch_size=4, seed=5)).train_epochs(16, 2)
+        np.testing.assert_allclose(r1.losses, r2.losses, rtol=1e-6)
+
+    def test_evaluate_loss_no_update(self, problem, dataset):
+        m = _model()
+        t = Trainer(m, problem, dataset, TrainConfig(batch_size=4))
+        before = m.state_dict()
+        val = t.evaluate_loss(16)
+        after = m.state_dict()
+        assert np.isfinite(val)
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])
+
+    def test_trains_at_multiple_resolutions(self, problem, dataset):
+        t = Trainer(_model(), problem, dataset, TrainConfig(batch_size=4))
+        r8 = t.train_epochs(8, 1)
+        r16 = t.train_epochs(16, 1)
+        assert r8.resolution == 8 and r16.resolution == 16
+
+    def test_unknown_optimizer_raises(self, problem, dataset):
+        with pytest.raises(ValueError):
+            Trainer(_model(), problem, dataset,
+                    TrainConfig(optimizer="newton"))
+
+
+class TestMultigridTrainer:
+    def _cfg(self):
+        return MGTrainConfig(batch_size=4, lr=3e-3, restriction_epochs=2,
+                             max_epochs_per_level=4, patience=2)
+
+    @pytest.mark.parametrize("strategy", ["v", "w", "f", "half_v"])
+    def test_schedule_executed(self, problem, dataset, strategy):
+        tr = MultigridTrainer(_model(), problem, dataset, strategy=strategy,
+                              levels=2, config=self._cfg())
+        res = tr.train()
+        assert [r.level for r in res.records] == [
+            s.level for s in tr.schedule]
+        assert res.total_time > 0
+        assert np.isfinite(res.final_loss)
+
+    def test_resolutions_match_levels(self, problem, dataset):
+        tr = MultigridTrainer(_model(), problem, dataset, strategy="half_v",
+                              levels=2, config=self._cfg())
+        res = tr.train()
+        assert [(r.level, r.resolution) for r in res.records] == [
+            (2, 8), (1, 16)]
+
+    def test_time_accounting(self, problem, dataset):
+        tr = MultigridTrainer(_model(), problem, dataset, strategy="v",
+                              levels=2, config=self._cfg())
+        res = tr.train()
+        per = res.time_per_level()
+        assert set(per) == {1, 2}
+        frac = res.time_fraction_per_level()
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_loss_history_monotone_time(self, problem, dataset):
+        tr = MultigridTrainer(_model(), problem, dataset, strategy="half_v",
+                              levels=2, config=self._cfg())
+        res = tr.train()
+        hist = res.loss_history()
+        times = [t for _, t, _ in hist]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_adaptation_on_refinement(self, problem, dataset):
+        model = _model()
+        n0 = model.num_weights
+        tr = MultigridTrainer(model, problem, dataset, strategy="half_v",
+                              levels=2, config=self._cfg(), adapt=True,
+                              adapt_rng=1)
+        res = tr.train()
+        assert model.num_weights > n0
+        assert any(r.adapted for r in res.records)
+        # Adaptation fires exactly when moving 2 -> 1.
+        assert res.records[1].adapted and not res.records[0].adapted
+
+    def test_baseline_training(self, problem, dataset):
+        tr = MultigridTrainer(_model(), problem, dataset, strategy="half_v",
+                              levels=2, config=self._cfg())
+        base = tr.train_baseline()
+        assert base.resolution == 16
+
+    def test_hierarchy_respects_model_min_resolution(self, problem, dataset):
+        model = MGDiffNet(ndim=2, base_filters=4, depth=3, rng=0)  # min res 8
+        with pytest.raises(ValueError):
+            MultigridTrainer(model, problem, dataset, levels=3,
+                             config=self._cfg())

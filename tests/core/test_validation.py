@@ -1,0 +1,59 @@
+"""Validator tests."""
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D, Trainer, TrainConfig
+from repro.core.validation import Validator
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return PoissonProblem2D(16)
+
+
+class TestValidator:
+    def test_holdout_disjoint_from_training(self, problem):
+        train = problem.make_dataset(16)
+        val = Validator(problem, n_samples=8)
+        # No validation omega appears in the training set.
+        for omega in val.omegas:
+            assert not np.any(np.all(np.isclose(train.omegas, omega), axis=1))
+
+    def test_references_cached(self, problem):
+        val = Validator(problem, n_samples=2)
+        refs = val.references
+        assert val.references is refs
+        assert refs[0].shape == (16, 16)
+
+    def test_evaluate_fields(self, problem):
+        model = MGDiffNet(ndim=2, base_filters=4, depth=2, rng=0)
+        val = Validator(problem, n_samples=3)
+        res = val.evaluate(model)
+        assert res.n_samples == 3
+        assert res.resolution == 16
+        assert np.isfinite(res.mean_energy)
+        assert 0 <= res.mean_rel_l2 <= res.max_rel_l2
+        assert "relL2" in str(res)
+
+    def test_training_improves_validation(self, problem):
+        model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=3)
+        val = Validator(problem, n_samples=4)
+        before = val.evaluate(model)
+        dataset = problem.make_dataset(8)
+        Trainer(model, problem, dataset,
+                TrainConfig(batch_size=8, lr=3e-3)).train_epochs(16, 40)
+        after = val.evaluate(model)
+        assert after.mean_rel_l2 < before.mean_rel_l2
+        assert after.mean_energy < before.mean_energy
+
+    def test_evaluate_preserves_training_mode(self, problem):
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0)
+        model.train()
+        Validator(problem, n_samples=1).evaluate(model)
+        assert model.training
+
+    def test_custom_resolution(self, problem):
+        val = Validator(problem, n_samples=1, resolution=8)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0)
+        assert val.evaluate(model).resolution == 8

@@ -1,0 +1,81 @@
+"""Symmetry augmentation tests, including FEM equivariance."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import (augment_batch, reflect_field,
+                                     symmetry_axes)
+from repro.fem import UniformGrid, FEMSolver, canonical_bc
+
+
+class TestAlgebra:
+    def test_symmetry_axes(self):
+        assert symmetry_axes(2) == (1,)
+        assert symmetry_axes(3) == (1, 2)
+
+    def test_reflect_involution(self):
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal((6, 6))
+        np.testing.assert_array_equal(
+            reflect_field(reflect_field(f, (1,)), (1,)), f)
+
+    def test_reflect_empty_axes_copies(self):
+        f = np.ones((3, 3))
+        out = reflect_field(f, ())
+        assert out is not f
+        np.testing.assert_array_equal(out, f)
+
+    def test_reflect_batched_offset(self):
+        rng = np.random.default_rng(1)
+        f = rng.standard_normal((2, 1, 4, 4))
+        out = reflect_field(f, (1,), spatial_offset=2)
+        np.testing.assert_array_equal(out, f[:, :, :, ::-1])
+
+    def test_augment_batch_deterministic_given_rng(self):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        x = np.random.default_rng(0).standard_normal((4, 1, 6, 6))
+        np.testing.assert_array_equal(augment_batch(x, rng_a),
+                                      augment_batch(x, rng_b))
+
+    def test_augment_preserves_values_multiset(self):
+        rng = np.random.default_rng(2)
+        x = np.random.default_rng(3).standard_normal((4, 1, 6, 6))
+        out = augment_batch(x, rng)
+        np.testing.assert_allclose(np.sort(out.ravel()), np.sort(x.ravel()))
+
+
+class TestPhysicsEquivariance:
+    def test_fem_solution_equivariant_under_y_reflection(self):
+        """solve(flip_y nu) == flip_y solve(nu) — the property that makes
+        reflection augmentation sound for this BVP."""
+        grid = UniformGrid(2, 17)
+        rng = np.random.default_rng(7)
+        nu = np.exp(0.4 * rng.standard_normal(grid.shape))
+        bc = canonical_bc(grid)
+        solver = FEMSolver(grid)
+        u = solver.solve(nu, bc)
+        u_flipped_input = solver.solve(nu[:, ::-1].copy(), bc)
+        np.testing.assert_allclose(u_flipped_input, u[:, ::-1], atol=1e-9)
+
+    def test_x_reflection_is_not_a_symmetry(self):
+        """Flipping the Dirichlet axis changes the problem (u=1 moves to
+        the other face), so it must NOT be used for augmentation."""
+        grid = UniformGrid(2, 17)
+        rng = np.random.default_rng(8)
+        nu = np.exp(0.4 * rng.standard_normal(grid.shape))
+        bc = canonical_bc(grid)
+        solver = FEMSolver(grid)
+        u = solver.solve(nu, bc)
+        u_flip = solver.solve(nu[::-1].copy(), bc)
+        assert np.abs(u_flip - u[::-1]).max() > 0.05
+
+    def test_3d_equivariance_both_axes(self):
+        grid = UniformGrid(3, 9)
+        rng = np.random.default_rng(9)
+        nu = np.exp(0.3 * rng.standard_normal(grid.shape))
+        bc = canonical_bc(grid)
+        solver = FEMSolver(grid)
+        u = solver.solve(nu, bc)
+        u_yz = solver.solve(nu[:, ::-1, ::-1].copy(), bc)
+        np.testing.assert_allclose(u_yz, u[:, ::-1, ::-1], atol=1e-8)

@@ -1,0 +1,134 @@
+"""Model-parallel halo-exchange extension (paper future work, Sec. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.model_parallel import (HaloStats, ModelParallelConvStack,
+                                              halo_exchange, join_slabs,
+                                              model_parallel_conv, split_slabs)
+from repro.nn import ConvNd, LeakyReLU
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(88)
+
+
+class TestSlabAlgebra:
+    def test_split_join_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 8, 5)).astype(np.float32)
+        slabs = split_slabs(x, 4)
+        assert all(s.shape == (2, 3, 2, 5) for s in slabs)
+        np.testing.assert_array_equal(join_slabs(slabs), x)
+
+    def test_indivisible_raises(self, rng):
+        x = rng.standard_normal((1, 1, 9, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            split_slabs(x, 2)
+
+    def test_halo_values(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 1, 8, 1)
+        slabs = split_slabs(x, 2)
+        padded = halo_exchange(slabs, halo=1)
+        # Rank 0: [0(zero), 0..3, 4(from rank 1)]
+        np.testing.assert_allclose(padded[0][0, 0, :, 0],
+                                   [0, 0, 1, 2, 3, 4])
+        # Rank 1: [3(from rank 0), 4..7, 0(zero)]
+        np.testing.assert_allclose(padded[1][0, 0, :, 0],
+                                   [3, 4, 5, 6, 7, 0])
+
+    def test_halo_zero_copies(self, rng):
+        x = rng.standard_normal((1, 1, 4, 2)).astype(np.float32)
+        slabs = split_slabs(x, 2)
+        out = halo_exchange(slabs, halo=0)
+        np.testing.assert_array_equal(out[0], slabs[0])
+        assert out[0] is not slabs[0]
+
+    def test_halo_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            halo_exchange([np.zeros((1, 1, 2, 2))], halo=-1)
+
+    def test_halo_stats_charged(self, rng):
+        x = rng.standard_normal((1, 2, 8, 3)).astype(np.float32)
+        slabs = split_slabs(x, 4)
+        stats = HaloStats()
+        halo_exchange(slabs, halo=1, stats=stats)
+        assert stats.exchanges == 1
+        # 3 interior boundaries x 2 directions x (1x2x1x3 floats x 4B)
+        assert stats.bytes_sent == 6 * 2 * 3 * 4
+
+
+class TestModelParallelConv:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_exact_vs_serial_2d(self, rng, p):
+        layer = ConvNd(2, 2, 3, kernel_size=3, padding=1, rng=rng)
+        x = rng.standard_normal((2, 2, 8, 6)).astype(np.float32)
+        slabs = model_parallel_conv(layer, split_slabs(x, p))
+        from repro.autograd import Tensor, no_grad
+
+        with no_grad():
+            ref = layer(Tensor(x)).data
+        np.testing.assert_allclose(join_slabs(slabs), ref, atol=1e-6)
+
+    def test_exact_vs_serial_3d(self, rng):
+        layer = ConvNd(3, 1, 2, kernel_size=3, padding=1, rng=rng)
+        x = rng.standard_normal((1, 1, 8, 4, 4)).astype(np.float32)
+        slabs = model_parallel_conv(layer, split_slabs(x, 2))
+        from repro.autograd import Tensor, no_grad
+
+        with no_grad():
+            ref = layer(Tensor(x)).data
+        np.testing.assert_allclose(join_slabs(slabs), ref, atol=1e-6)
+
+    def test_stride_rejected(self, rng):
+        layer = ConvNd(2, 1, 1, kernel_size=2, stride=2, rng=rng)
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            model_parallel_conv(layer, split_slabs(x, 2))
+
+    def test_kernel_padding_mismatch_rejected(self, rng):
+        layer = ConvNd(2, 1, 1, kernel_size=3, padding=0, rng=rng)
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            model_parallel_conv(layer, split_slabs(x, 2))
+
+
+class TestConvStack:
+    def test_multilayer_exactness(self, rng):
+        layers = [
+            (ConvNd(2, 1, 4, kernel_size=3, padding=1, rng=rng), LeakyReLU(0.1)),
+            (ConvNd(2, 4, 4, kernel_size=3, padding=1, rng=rng), LeakyReLU(0.1)),
+            (ConvNd(2, 4, 1, kernel_size=1, rng=rng), None),
+        ]
+        stack = ModelParallelConvStack(layers, world_size=4)
+        x = rng.standard_normal((2, 1, 16, 12)).astype(np.float32)
+        out = stack.forward(x)
+        ref = stack.serial_forward(x)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+        # Two 3x3 layers exchange halos; the 1x1 layer does not.
+        assert stack.stats.exchanges == 2
+
+    def test_traffic_scales_with_layers(self, rng):
+        def stack_of(n):
+            layers = [(ConvNd(2, 1 if i == 0 else 2, 2, kernel_size=3,
+                              padding=1, rng=np.random.default_rng(i)), None)
+                      for i in range(n)]
+            return ModelParallelConvStack(layers, world_size=2)
+
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        s2, s4 = stack_of(2), stack_of(4)
+        s2.forward(x)
+        s4.forward(x)
+        assert s4.stats.bytes_sent > s2.stats.bytes_sent
+
+    def test_world_size_one_no_traffic(self, rng):
+        layers = [(ConvNd(2, 1, 2, kernel_size=3, padding=1, rng=rng), None)]
+        stack = ModelParallelConvStack(layers, world_size=1)
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(stack.forward(x),
+                                   stack.serial_forward(x), atol=1e-6)
+        assert stack.stats.bytes_sent == 0
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            ModelParallelConvStack([], world_size=0)

@@ -1,0 +1,154 @@
+"""Energy-loss exactness — the keystone tests of the reproduction.
+
+The conv-stencil energy must match the assembled bilinear form exactly:
+its autograd gradient equals ``K u - b`` and its value ``1/2 u^T K u - b^T u``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.fem import (UniformGrid, EnergyLoss, FEMSolver, assemble_load,
+                       assemble_stiffness, canonical_bc)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(100)
+
+
+def _setup(ndim, res, rng, forcing=False):
+    grid = UniformGrid(ndim, res)
+    nu = np.exp(0.3 * rng.standard_normal(grid.shape))
+    f = rng.standard_normal(grid.shape) if forcing else None
+    u = rng.standard_normal(grid.shape)
+    return grid, nu, f, u
+
+
+class TestExactness:
+    @pytest.mark.parametrize("ndim,res", [(2, 9), (2, 12), (3, 5), (3, 6)])
+    def test_gradient_equals_Ku_minus_b(self, rng, ndim, res):
+        grid, nu, f, u_np = _setup(ndim, res, rng, forcing=True)
+        loss = EnergyLoss(grid, forcing=f, reduction="sum")
+        u = Tensor(u_np[None, None], requires_grad=True, dtype=np.float64)
+        loss(u, nu[None, None]).backward()
+        k = assemble_stiffness(grid, nu)
+        b = assemble_load(grid, f)
+        ref = (k @ u_np.ravel() - b).reshape(grid.shape)
+        np.testing.assert_allclose(u.grad[0, 0], ref, atol=1e-11)
+
+    @pytest.mark.parametrize("ndim,res", [(2, 9), (3, 5)])
+    def test_value_equals_matrix_energy(self, rng, ndim, res):
+        grid, nu, f, u_np = _setup(ndim, res, rng, forcing=True)
+        loss = EnergyLoss(grid, forcing=f, reduction="sum")
+        u = Tensor(u_np[None, None], dtype=np.float64)
+        j = float(loss(u, nu[None, None]).data)
+        j_mat = FEMSolver(grid).energy(u_np, nu, f)
+        assert j == pytest.approx(j_mat, abs=1e-10)
+
+    def test_no_forcing_value(self, rng):
+        grid, nu, _, u_np = _setup(2, 8, rng)
+        loss = EnergyLoss(grid, reduction="sum")
+        u = Tensor(u_np[None, None], dtype=np.float64)
+        k = assemble_stiffness(grid, nu)
+        expected = 0.5 * u_np.ravel() @ (k @ u_np.ravel())
+        assert float(loss(u, nu[None, None]).data) == pytest.approx(expected)
+
+    def test_energy_nonnegative_without_forcing(self, rng):
+        grid, nu, _, u_np = _setup(2, 8, rng)
+        loss = EnergyLoss(grid, reduction="sum")
+        u = Tensor(u_np[None, None], dtype=np.float64)
+        assert float(loss(u, nu[None, None]).data) >= 0.0
+
+    def test_constant_field_zero_energy(self, rng):
+        grid = UniformGrid(2, 8)
+        nu = np.exp(rng.standard_normal(grid.shape))
+        loss = EnergyLoss(grid, reduction="sum")
+        u = Tensor(np.full((1, 1, 8, 8), 2.5), dtype=np.float64)
+        assert float(loss(u, nu[None, None]).data) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestBatching:
+    def test_mean_reduction(self, rng):
+        grid = UniformGrid(2, 6)
+        nus = np.exp(0.2 * rng.standard_normal((3, 1) + grid.shape))
+        us = rng.standard_normal((3, 1) + grid.shape)
+        loss = EnergyLoss(grid, reduction="mean")
+        per = loss.per_sample(Tensor(us, dtype=np.float64), nus).data
+        total = float(loss(Tensor(us, dtype=np.float64), nus).data)
+        assert total == pytest.approx(per.mean())
+
+    def test_per_sample_matches_individual(self, rng):
+        grid = UniformGrid(2, 6)
+        nus = np.exp(0.2 * rng.standard_normal((2, 1) + grid.shape))
+        us = rng.standard_normal((2, 1) + grid.shape)
+        loss = EnergyLoss(grid, reduction="sum")
+        per = loss.per_sample(Tensor(us, dtype=np.float64), nus).data
+        for i in range(2):
+            ji = float(loss(Tensor(us[i:i + 1], dtype=np.float64),
+                            nus[i:i + 1]).data)
+            assert per[i] == pytest.approx(ji, rel=1e-12)
+
+    def test_shape_validation(self, rng):
+        grid = UniformGrid(2, 6)
+        loss = EnergyLoss(grid)
+        with pytest.raises(ValueError):
+            loss(Tensor(np.zeros((1, 1, 5, 5))), np.zeros((1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            loss(Tensor(np.zeros((1, 2, 6, 6))), np.zeros((1, 2, 6, 6)))
+        with pytest.raises(ValueError):
+            loss(Tensor(np.zeros((1, 1, 6, 6))), np.zeros((2, 1, 6, 6)))
+
+    def test_bad_reduction_raises(self):
+        with pytest.raises(ValueError):
+            EnergyLoss(UniformGrid(2, 4), reduction="max")
+
+    def test_float32_path(self, rng):
+        grid = UniformGrid(2, 6)
+        nu = np.exp(0.2 * rng.standard_normal(grid.shape)).astype(np.float32)
+        u = rng.standard_normal(grid.shape).astype(np.float32)
+        loss = EnergyLoss(grid, reduction="sum")
+        j32 = float(loss(Tensor(u[None, None]), nu[None, None]).data)
+        j64 = FEMSolver(grid).energy(u.astype(np.float64), nu.astype(np.float64))
+        assert j32 == pytest.approx(j64, rel=1e-4)
+
+
+class TestVariationalPrinciple:
+    def test_direct_minimization_recovers_fem_solution(self, rng):
+        """Optimizing nodal values under J (with exact BC masking, no
+        network) must converge to the FEM solution — certifying that
+        'minimize the loss' == 'solve the PDE'."""
+        from repro.optim import Adam
+        from repro.nn import Parameter
+
+        grid = UniformGrid(2, 9)
+        nu = np.exp(0.3 * rng.standard_normal(grid.shape))
+        bc = canonical_bc(grid)
+        u_ref = FEMSolver(grid).solve(nu, bc)
+
+        loss = EnergyLoss(grid, reduction="sum")
+        chi_int = bc.interior_indicator()[None, None]
+        u_b = bc.lift()[None, None]
+        theta = Parameter(np.full((1, 1) + grid.shape, 0.5, dtype=np.float64))
+        opt = Adam([theta], lr=0.05)
+        nu_b = nu[None, None]
+        for _ in range(400):
+            u = theta * Tensor(chi_int) + Tensor(u_b)
+            j = loss(u, nu_b)
+            opt.zero_grad()
+            j.backward()
+            opt.step()
+        u_final = (theta.data * chi_int + u_b)[0, 0]
+        assert np.abs(u_final - u_ref).max() < 5e-3
+
+    def test_fem_solution_is_stationary_point(self, rng):
+        """grad J(u_fem) vanishes on the interior."""
+        grid = UniformGrid(2, 9)
+        nu = np.exp(0.3 * rng.standard_normal(grid.shape))
+        bc = canonical_bc(grid)
+        u_ref = FEMSolver(grid).solve(nu, bc)
+        loss = EnergyLoss(grid, reduction="sum")
+        u = Tensor(u_ref[None, None], requires_grad=True, dtype=np.float64)
+        loss(u, nu[None, None]).backward()
+        interior_grad = u.grad[0, 0][~bc.mask]
+        assert np.abs(interior_grad).max() < 1e-8

@@ -1,0 +1,77 @@
+"""GroupNorm tests, including the batch-size-independence property that
+motivates it for local-batch-2 training."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn.groupnorm import GroupNorm
+
+from tests.conftest import t64
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(44)
+
+
+class TestForward:
+    def test_normalizes_per_group(self, rng):
+        gn = GroupNorm(2, 4)
+        x = Tensor((rng.standard_normal((3, 4, 5, 5)) * 3 + 1)
+                   .astype(np.float64))
+        y = gn(x).data
+        for n in range(3):
+            for g in range(2):
+                block = y[n, 2 * g:2 * g + 2]
+                assert block.mean() == pytest.approx(0.0, abs=1e-6)
+                assert block.std() == pytest.approx(1.0, rel=1e-3)
+
+    def test_instance_norm_special_case(self, rng):
+        gn = GroupNorm(4, 4)  # groups == channels
+        x = Tensor(rng.standard_normal((2, 4, 6, 6)).astype(np.float64))
+        y = gn(x).data
+        for n in range(2):
+            for c in range(4):
+                assert y[n, c].mean() == pytest.approx(0.0, abs=1e-6)
+
+    def test_batch_size_independence(self, rng):
+        """The core property: per-sample normalization means each sample's
+        output is the same whether it appears in a batch of 1 or 8."""
+        gn = GroupNorm(2, 4)
+        x8 = rng.standard_normal((8, 4, 5, 5)).astype(np.float64)
+        y8 = gn(Tensor(x8)).data
+        y1 = gn(Tensor(x8[:1])).data
+        np.testing.assert_allclose(y8[:1], y1, atol=1e-12)
+
+    def test_3d_input(self, rng):
+        gn = GroupNorm(2, 4)
+        x = Tensor(rng.standard_normal((1, 4, 4, 4, 4)).astype(np.float32))
+        assert gn(x).shape == (1, 4, 4, 4, 4)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 4)
+        gn = GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(np.zeros((1, 6, 4, 4), dtype=np.float32)))
+
+
+class TestBackward:
+    def test_gradcheck(self, rng):
+        x = t64((2, 4, 3, 3), rng)
+        gn = GroupNorm(2, 4)
+        gn.gamma.data = gn.gamma.data.astype(np.float64)
+        gn.beta.data = gn.beta.data.astype(np.float64)
+        gn.gamma.data[:] = rng.uniform(0.5, 2.0, 4)
+        gn.beta.data[:] = rng.standard_normal(4)
+        gradcheck(lambda x: gn(x), [x], rtol=1e-3, atol=1e-5)
+
+    def test_gamma_beta_gradients(self, rng):
+        gn = GroupNorm(2, 4)
+        x = Tensor(rng.standard_normal((2, 4, 3, 3)).astype(np.float32))
+        gn(x).sum().backward()
+        assert gn.gamma.grad is not None
+        assert gn.beta.grad is not None
+        # d(sum)/d(beta_c) = number of positions per channel.
+        np.testing.assert_allclose(gn.beta.grad, 2 * 9, rtol=1e-5)

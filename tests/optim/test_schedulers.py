@@ -1,0 +1,89 @@
+"""LR schedulers and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (SGD, StepLR, ExponentialLR, CosineAnnealingLR,
+                         EarlyStopping)
+
+
+def _opt(lr=1.0):
+    return SGD([Parameter(np.ones(1))], lr=lr)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = _opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_exponential(self):
+        opt = _opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_cosine_endpoints(self):
+        opt = _opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decrease(self):
+        opt = _opt()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self):
+        es = EarlyStopping(patience=3, min_delta=1e-3)
+        stops = [es.update(1.0) for _ in range(4)]
+        assert stops == [False, False, False, True]
+
+    def test_improvement_resets_counter(self):
+        es = EarlyStopping(patience=2, min_delta=0.0)
+        assert not es.update(1.0)
+        assert not es.update(1.0)   # count 1
+        assert not es.update(0.5)   # improvement resets
+        assert not es.update(0.5)   # count 1
+        assert es.update(0.5)       # count 2 -> stop
+
+    def test_min_delta_relative(self):
+        es = EarlyStopping(patience=1, min_delta=0.1)
+        assert not es.update(1.0)
+        # 5% improvement < 10% threshold -> counts as plateau.
+        assert es.update(0.95)
+
+    def test_min_epochs_respected(self):
+        es = EarlyStopping(patience=1, min_epochs=5)
+        for i in range(4):
+            assert not es.update(1.0)
+        assert es.update(1.0)
+
+    def test_best_tracked(self):
+        es = EarlyStopping(patience=10)
+        es.update(3.0)
+        es.update(1.0)
+        es.update(2.0)
+        assert es.best == 1.0
+        assert es.best_epoch == 2
+
+    def test_reset(self):
+        es = EarlyStopping(patience=1)
+        es.update(1.0)
+        es.update(1.0)
+        assert es.stopped
+        es.reset()
+        assert not es.stopped
+        assert es.epoch == 0
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

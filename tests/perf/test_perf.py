@@ -1,0 +1,137 @@
+"""Performance model: allreduce cost, epoch time regimes, scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.perf import (AZURE_NDV2, BRIDGES2_CPU, ClusterSpec,
+                        ring_allreduce_time, step_time, epoch_time,
+                        strong_scaling_study, compute_time_at_resolution,
+                        measure_epoch_time, measure_sample_time)
+
+
+class TestClusterSpecs:
+    def test_table6_values(self):
+        assert AZURE_NDV2.devices_per_node == 8
+        assert AZURE_NDV2.bandwidth_gbps == 100.0
+        assert BRIDGES2_CPU.devices_per_node == 1
+        assert BRIDGES2_CPU.bandwidth_gbps == 200.0
+
+    def test_unit_conversions(self):
+        s = ClusterSpec("t", 1, 80.0, 2.0)
+        assert s.bandwidth_bytes_per_s == pytest.approx(1e10)
+        assert s.latency_s == pytest.approx(2e-6)
+
+    def test_nodes_for(self):
+        assert AZURE_NDV2.nodes_for(512) == 64
+        assert AZURE_NDV2.nodes_for(4) == 1
+        assert BRIDGES2_CPU.nodes_for(128) == 128
+
+
+class TestAllReduceTime:
+    def test_single_worker_free(self):
+        assert ring_allreduce_time(10 ** 8, 1, BRIDGES2_CPU) == 0.0
+
+    def test_bandwidth_bound_regime_flat_in_p(self):
+        """For Nw >> p the ring time approaches 2 Nw / BW, ~independent of
+        p (the paper's scalability claim)."""
+        nbytes = 4 * 10 ** 8
+        t8 = ring_allreduce_time(nbytes, 8, BRIDGES2_CPU)
+        t128 = ring_allreduce_time(nbytes, 128, BRIDGES2_CPU)
+        assert t128 / t8 < 1.3
+        asymptote = 2 * nbytes / BRIDGES2_CPU.bandwidth_bytes_per_s
+        assert t128 == pytest.approx(asymptote, rel=0.2)
+
+    def test_latency_bound_regime_grows_with_p(self):
+        t4 = ring_allreduce_time(64, 4, BRIDGES2_CPU)
+        t64 = ring_allreduce_time(64, 64, BRIDGES2_CPU)
+        assert t64 > t4 * 5
+
+    def test_intra_node_cheaper(self):
+        """p within one NDv2 node rides NVLink, beating inter-node."""
+        n = 4 * 10 ** 7
+        t_intra = ring_allreduce_time(n, 8, AZURE_NDV2)
+        t_inter = ring_allreduce_time(n, 8, BRIDGES2_CPU)
+        assert t_intra < t_inter
+
+
+class TestEpochTime:
+    def test_exactly_one_batch_mode(self):
+        with pytest.raises(ValueError):
+            epoch_time(2, 100, 1.0, 10, BRIDGES2_CPU)
+        with pytest.raises(ValueError):
+            epoch_time(2, 100, 1.0, 10, BRIDGES2_CPU, local_batch=2,
+                       global_batch=8)
+
+    def test_fixed_local_batch_steps_shrink(self):
+        t1 = epoch_time(1, 64, 1.0, 10, BRIDGES2_CPU, local_batch=2)
+        t4 = epoch_time(4, 64, 1.0, 10, BRIDGES2_CPU, local_batch=2)
+        assert t1 == pytest.approx(32 * 2.0)
+        assert t4 < t1 / 3.5
+
+    def test_fixed_global_batch(self):
+        t = epoch_time(4, 64, 1.0, 10, BRIDGES2_CPU, global_batch=8)
+        # 8 steps x (2 samples x 1 s + tiny comm)
+        assert t == pytest.approx(8 * 2.0, rel=0.01)
+
+    def test_global_batch_divisibility(self):
+        with pytest.raises(ValueError):
+            epoch_time(3, 64, 1.0, 10, BRIDGES2_CPU, global_batch=8)
+
+    def test_step_time_components(self):
+        t = step_time(2, 4, 0.5, 1000, BRIDGES2_CPU)
+        assert t > 4 * 0.5
+
+
+class TestStrongScaling:
+    def test_near_linear_then_saturates(self):
+        """The Fig. 9 shape: ~linear speedup until communication bites."""
+        ps = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+        pts = strong_scaling_study(ps, n_samples=1024, t_sample=0.35,
+                                   n_params=3_000_000, spec=AZURE_NDV2,
+                                   local_batch=2)
+        speedups = [p.speedup for p in pts]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 300          # paper: 480x at 512
+        assert pts[1].efficiency > 0.95    # near-perfect at small p
+
+    def test_efficiency_bounded(self):
+        pts = strong_scaling_study([1, 4, 16], n_samples=256, t_sample=0.1,
+                                   n_params=10 ** 6, spec=BRIDGES2_CPU,
+                                   local_batch=2)
+        assert all(p.efficiency <= 1.0 + 1e-9 for p in pts)
+
+    def test_high_latency_spec_saturates_early(self):
+        slow = ClusterSpec("slow", 1, 1.0, 500.0)
+        pts = strong_scaling_study([1, 16, 256], n_samples=512,
+                                   t_sample=0.01, n_params=10 ** 7,
+                                   spec=slow, local_batch=2)
+        assert pts[-1].efficiency < 0.5
+
+
+class TestExtrapolation:
+    def test_compute_time_scaling(self):
+        t = compute_time_at_resolution(1.0, 16, 256, ndim=3)
+        assert t == pytest.approx(16.0 ** 3)
+
+    def test_identity(self):
+        assert compute_time_at_resolution(2.5, 64, 64, 2) == 2.5
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return (MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0),
+                PoissonProblem2D(8))
+
+    def test_epoch_time_point(self, setup):
+        model, problem = setup
+        pt = measure_epoch_time(model, problem, 8, n_samples=4, batch_size=2)
+        assert pt.epoch_seconds > 0
+        assert pt.dofs == 64
+        assert pt.resolution == 8
+
+    def test_sample_time_positive(self, setup):
+        model, problem = setup
+        t = measure_sample_time(model, problem, 8, batch_size=2, repeats=1)
+        assert 0 < t < 60

@@ -1,0 +1,147 @@
+"""Cross-cutting property-based tests (hypothesis) on the core invariants
+of the system.  These are the relations the correctness of the whole
+reproduction rests on, checked over randomized configurations rather than
+hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.fem import (UniformGrid, EnergyLoss, FEMSolver, canonical_bc,
+                       assemble_stiffness)
+
+SMALL_RES = st.sampled_from([5, 6, 8, 9])
+SEEDS = st.integers(0, 10 ** 6)
+
+
+def _random_fields(res, seed, ndim=2):
+    rng = np.random.default_rng(seed)
+    grid = UniformGrid(ndim, res)
+    nu = np.exp(0.3 * rng.standard_normal(grid.shape))
+    u = rng.standard_normal(grid.shape)
+    return grid, nu, u
+
+
+class TestEnergyFunctionalProperties:
+    @given(res=SMALL_RES, seed=SEEDS, alpha=st.floats(-3.0, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_quadratic_scaling(self, res, seed, alpha):
+        """f = 0: J(alpha u) == alpha^2 J(u)."""
+        grid, nu, u = _random_fields(res, seed)
+        loss = EnergyLoss(grid, reduction="sum")
+        j1 = float(loss(Tensor(u[None, None], dtype=np.float64),
+                        nu[None, None]).data)
+        j2 = float(loss(Tensor((alpha * u)[None, None], dtype=np.float64),
+                        nu[None, None]).data)
+        assert j2 == pytest.approx(alpha ** 2 * j1, rel=1e-9, abs=1e-12)
+
+    @given(res=SMALL_RES, seed=SEEDS, c=st.floats(-5.0, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariance(self, res, seed, c):
+        """Adding a constant changes nothing: J(u + c) == J(u) for f=0."""
+        grid, nu, u = _random_fields(res, seed)
+        loss = EnergyLoss(grid, reduction="sum")
+        j1 = float(loss(Tensor(u[None, None], dtype=np.float64),
+                        nu[None, None]).data)
+        j2 = float(loss(Tensor((u + c)[None, None], dtype=np.float64),
+                        nu[None, None]).data)
+        assert j2 == pytest.approx(j1, rel=1e-8, abs=1e-10)
+
+    @given(res=SMALL_RES, seed=SEEDS, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_nu(self, res, seed, scale):
+        """J is linear in the coefficient field: J(u; s nu) == s J(u; nu)."""
+        grid, nu, u = _random_fields(res, seed)
+        loss = EnergyLoss(grid, reduction="sum")
+        ut = Tensor(u[None, None], dtype=np.float64)
+        j1 = float(loss(ut, nu[None, None]).data)
+        j2 = float(loss(ut, (scale * nu)[None, None]).data)
+        assert j2 == pytest.approx(scale * j1, rel=1e-9)
+
+    @given(res=SMALL_RES, seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_gradient_matches_operator(self, res, seed):
+        """The keystone identity over random data: grad J == K u."""
+        grid, nu, u_np = _random_fields(res, seed)
+        loss = EnergyLoss(grid, reduction="sum")
+        u = Tensor(u_np[None, None], requires_grad=True, dtype=np.float64)
+        loss(u, nu[None, None]).backward()
+        k = assemble_stiffness(grid, nu)
+        np.testing.assert_allclose(
+            u.grad[0, 0].ravel(), k @ u_np.ravel(), atol=1e-10)
+
+
+class TestFEMSolutionProperties:
+    @given(seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_maximum_principle(self, seed):
+        """Solutions stay inside the Dirichlet data range [0, 1] for any
+        positive diffusivity (no interior extrema)."""
+        rng = np.random.default_rng(seed)
+        grid = UniformGrid(2, 13)
+        nu = np.exp(0.6 * rng.standard_normal(grid.shape))
+        u = FEMSolver(grid).solve(nu, canonical_bc(grid))
+        assert u.min() >= -1e-8
+        assert u.max() <= 1.0 + 1e-8
+
+    @given(seed=SEEDS, scale=st.floats(0.2, 5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_solution_invariant_to_nu_scaling(self, seed, scale):
+        """-div(nu grad u) = 0 is invariant under nu -> s nu."""
+        rng = np.random.default_rng(seed)
+        grid = UniformGrid(2, 9)
+        nu = np.exp(0.4 * rng.standard_normal(grid.shape))
+        solver = FEMSolver(grid)
+        bc = canonical_bc(grid)
+        u1 = solver.solve(nu, bc)
+        u2 = solver.solve(scale * nu, bc)
+        np.testing.assert_allclose(u1, u2, atol=1e-8)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=8, deadline=None)
+    def test_flux_conservation(self, seed):
+        """Total flux through x=0 equals total through x=1 (steady
+        state, no interior sources): via energy identity
+        J(u*) = 1/2 int nu |grad u*|^2 equals 1/2 * inflow flux."""
+        rng = np.random.default_rng(seed)
+        grid = UniformGrid(2, 13)
+        nu = np.exp(0.4 * rng.standard_normal(grid.shape))
+        bc = canonical_bc(grid)
+        solver = FEMSolver(grid)
+        u = solver.solve(nu, bc)
+        k = assemble_stiffness(grid, nu)
+        r = (k @ u.ravel()).reshape(grid.shape)
+        # Residual vanishes on interior; boundary residuals are fluxes.
+        influx = r[0].sum()     # at u=1 face
+        outflux = r[-1].sum()   # at u=0 face
+        assert influx == pytest.approx(-outflux, rel=1e-8)
+
+
+class TestModelOutputProperties:
+    @given(seed=st.integers(0, 1000), res=st.sampled_from([8, 16]))
+    @settings(max_examples=10, deadline=None)
+    def test_bcs_exact_for_any_weights(self, seed, res):
+        """Random untrained networks still satisfy the Dirichlet data —
+        exactness is structural, not learned."""
+        from repro import MGDiffNet, PoissonProblem2D
+
+        problem = PoissonProblem2D(res)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=seed)
+        rng = np.random.default_rng(seed)
+        omega = rng.uniform(-3, 3, 4)
+        u = model.predict(problem, omega)
+        np.testing.assert_array_equal(u[0], 1.0)
+        np.testing.assert_array_equal(u[-1], 0.0)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_prediction_in_unit_range(self, seed):
+        from repro import MGDiffNet, PoissonProblem2D
+
+        problem = PoissonProblem2D(8)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=seed)
+        omega = np.random.default_rng(seed).uniform(-3, 3, 4)
+        u = model.predict(problem, omega)
+        assert u.min() >= 0.0 and u.max() <= 1.0

@@ -1,0 +1,98 @@
+"""CLI tests (in-process invocation of repro.cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, build_parser
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_omega_parsing(self):
+        args = build_parser().parse_args(
+            ["solve", "--omega", "1,2,3,4"])
+        np.testing.assert_array_equal(args.omega, [1, 2, 3, 4])
+
+    def test_omega_wrong_arity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--omega", "1,2"])
+
+
+class TestInfo:
+    def test_info_prints_version(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "SC 2021" in out
+
+
+class TestSolve:
+    def test_direct_solve(self, capsys):
+        assert main(["solve", "--resolution", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "solution range" in out
+
+    def test_gmg_solve(self, capsys):
+        assert main(["solve", "--resolution", "33", "--solver", "gmg"]) == 0
+        out = capsys.readouterr().out
+        assert "GMG" in out
+
+    def test_vti_export(self, tmp_path, capsys):
+        out_path = tmp_path / "u.vti"
+        assert main(["solve", "--resolution", "9",
+                     "--output", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.utils.vtk import read_vti
+
+        fields, _ = read_vti(out_path)
+        assert "u" in fields and "nu" in fields
+
+
+class TestScaling:
+    @pytest.mark.parametrize("cluster", ["azure", "bridges2"])
+    def test_scaling_table(self, capsys, cluster):
+        assert main(["scaling", "--cluster", cluster,
+                     "--max-workers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "8" in out
+
+
+class TestTrainPredict:
+    def test_train_then_predict_roundtrip(self, tmp_path, capsys):
+        ck = tmp_path / "model.npz"
+        assert main(["train", "--resolution", "8", "--samples", "4",
+                     "--levels", "1", "--base-filters", "4", "--depth", "1",
+                     "--max-epochs", "3", "--batch-size", "4",
+                     "--checkpoint", str(ck)]) == 0
+        out = capsys.readouterr().out
+        assert "trained half_v" in out
+        assert ck.exists()
+
+        assert main(["predict", "--checkpoint", str(ck),
+                     "--compare-fem"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted field" in out
+        assert "rel_L2" in out
+
+    def test_train_with_validation(self, capsys):
+        assert main(["train", "--resolution", "8", "--samples", "4",
+                     "--levels", "1", "--base-filters", "4", "--depth", "1",
+                     "--max-epochs", "2", "--batch-size", "4",
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "val[" in out
+
+    def test_predict_vti_export(self, tmp_path, capsys):
+        ck = tmp_path / "model.npz"
+        main(["train", "--resolution", "8", "--samples", "4",
+              "--levels", "1", "--base-filters", "4", "--depth", "1",
+              "--max-epochs", "1", "--batch-size", "4",
+              "--checkpoint", str(ck)])
+        capsys.readouterr()
+        out_vti = tmp_path / "pred.vti"
+        assert main(["predict", "--checkpoint", str(ck),
+                     "--output", str(out_vti)]) == 0
+        assert out_vti.exists()
