@@ -24,9 +24,9 @@ from repro.data.dataloader import BatchSampler
 from repro.optim import Adam
 
 try:
-    from .common import report
+    from .common import bench_cli, report
 except ImportError:
-    from common import report
+    from common import bench_cli, report
 
 RESOLUTION = 16
 EPOCHS = 60
@@ -122,4 +122,5 @@ def test_ablation_bc_imposition(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_ablation_bc_imposition")
     report("ablation_bc_imposition", HEADER, _run())

@@ -22,9 +22,9 @@ from repro.fem import (EnergyLoss, FEMSolver, GaussRule, UniformGrid,
                        assemble_stiffness)
 
 try:
-    from .common import report
+    from .common import bench_cli, report
 except ImportError:
-    from common import report
+    from common import bench_cli, report
 
 
 def _run_quadrature():
@@ -121,6 +121,7 @@ def test_ablation_downsample(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_ablation_design")
     report("ablation_quadrature",
            ["gauss_order", "points_per_element", "loss_grad_ms",
             "grad_gap_vs_2pt_operator"], _run_quadrature())

@@ -17,9 +17,9 @@ from repro import MGDiffNet, PoissonProblem2D
 from repro.distributed import DataParallelTrainer, DPConfig, ring_allreduce
 
 try:
-    from .common import report
+    from .common import bench_cli, report
 except ImportError:
-    from common import report
+    from common import bench_cli, report
 
 
 def _factory():
@@ -80,5 +80,6 @@ def test_eq15_ring_traffic(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_eq15_invariance")
     report("eq15_invariance",
            ["world_size", "max_param_drift", "max_rel_loss_gap"], _run())

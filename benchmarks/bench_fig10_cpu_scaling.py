@@ -16,9 +16,9 @@ from repro.perf import (BRIDGES2_CPU, compute_time_at_resolution,
                         measure_sample_time, strong_scaling_study)
 
 try:
-    from .common import report, small_model_3d
+    from .common import bench_cli, report, small_model_3d
 except ImportError:
-    from common import report, small_model_3d
+    from common import bench_cli, report, small_model_3d
 
 WORLD_SIZES = [1, 2, 4, 8, 16, 32, 64, 128]
 HEADER = ["nodes", "epoch_seconds", "speedup", "efficiency"]
@@ -78,4 +78,5 @@ def test_fig10_memory_argument(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_fig10_cpu_scaling")
     report("fig10_cpu_scaling", HEADER, _run())

@@ -14,9 +14,9 @@ from repro import PoissonProblem2D
 from repro.perf import measure_epoch_time
 
 try:
-    from .common import report, small_model_2d
+    from .common import bench_cli, report, small_model_2d
 except ImportError:  # standalone execution
-    from common import report, small_model_2d
+    from common import bench_cli, report, small_model_2d
 
 RESOLUTIONS = (8, 16, 32, 64)
 
@@ -45,4 +45,27 @@ def test_fig2_epoch_time(benchmark):
 
 
 if __name__ == "__main__":
-    report("fig2_epoch_time", ["resolution", "dofs", "epoch_seconds"], _run())
+    args = bench_cli(
+        "bench_fig2_epoch_time",
+        extra_args=lambda p: p.add_argument(
+            "--json", default=None, metavar="PATH",
+            help="also write the rows as a JSON artifact (used by CI)"))
+    rows = _run()
+    report("fig2_epoch_time", ["resolution", "dofs", "epoch_seconds"], rows)
+    if args.json:
+        import json
+        from pathlib import Path
+
+        import numpy as _np
+
+        from repro.backend import get_backend, get_conv_plan_mode, get_default_dtype
+
+        # Record the *active* configuration (CLI flags and the
+        # REPRO_BACKEND / REPRO_CONV_PLAN env vars both land here).
+        payload = {"backend": get_backend().name,
+                   "dtype": _np.dtype(get_default_dtype()).name,
+                   "conv_plan": get_conv_plan_mode(),
+                   "rows": [{"resolution": r, "dofs": d, "epoch_seconds": t}
+                            for r, d, t in rows]}
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json}")

@@ -15,9 +15,9 @@ from repro import MultigridTrainer, PoissonProblem2D
 from repro.multigrid import STRATEGIES
 
 try:
-    from .common import bench_config, report, small_model_2d
+    from .common import bench_cli, bench_config, report, small_model_2d
 except ImportError:
-    from common import bench_config, report, small_model_2d
+    from common import bench_cli, bench_config, report, small_model_2d
 
 LEVELS = 3
 
@@ -57,4 +57,5 @@ def test_fig7_time_per_level(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_fig7_level_time")
     report("fig7_level_time", HEADER, _run())

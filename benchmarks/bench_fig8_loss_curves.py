@@ -15,9 +15,9 @@ import pytest
 from repro import MultigridTrainer, PoissonProblem3D
 
 try:
-    from .common import bench_config, report, small_model_3d
+    from .common import bench_cli, bench_config, report, small_model_3d
 except ImportError:
-    from common import bench_config, report, small_model_3d
+    from common import bench_cli, bench_config, report, small_model_3d
 
 
 def _run(resolution: int = 16):
@@ -64,6 +64,7 @@ def test_fig8_loss_curves(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_fig8_loss_curves")
     base_curve, mg_curve, mg_levels = _run()
     rows = ([["base", round(t, 3), round(l, 5)] for t, l in base_curve]
             + [[f"half_v_L{lvl}", round(t, 3), round(l, 5)]

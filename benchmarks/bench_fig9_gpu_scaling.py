@@ -23,9 +23,9 @@ from repro.perf import (AZURE_NDV2, compute_time_at_resolution,
                         strong_scaling_study)
 
 try:
-    from .common import report, small_model_3d
+    from .common import bench_cli, report, small_model_3d
 except ImportError:
-    from common import report, small_model_3d
+    from common import bench_cli, report, small_model_3d
 
 WORLD_SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
 HEADER = ["gpus", "nodes", "epoch_seconds", "speedup", "efficiency"]
@@ -120,4 +120,5 @@ def test_fig9_virtual_cluster_validates_model(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_fig9_gpu_scaling")
     report("fig9_gpu_scaling", HEADER, _run())

@@ -25,9 +25,9 @@ from repro.fem import (UniformGrid, GeometricMultigrid, assemble_stiffness,
 from repro.multigrid import full_multigrid_solve
 
 try:
-    from .common import report
+    from .common import bench_cli, report
 except ImportError:
-    from common import report
+    from common import bench_cli, report
 
 OMEGA = np.array([0.3105, 1.5386, 0.0932, -1.2442])
 FIELD = LogPermeabilityField(2)
@@ -105,5 +105,6 @@ def test_mg_preconditioned_cg(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_gmg_substrate")
     report("gmg_cycles", ["elements_per_dim", "cycle", "levels",
                           "iterations", "time_ms"], _run_cycles())

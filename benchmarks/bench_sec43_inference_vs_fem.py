@@ -15,9 +15,9 @@ from repro import MGDiffNet, PoissonProblem2D, PoissonProblem3D
 from repro.core import time_inference_vs_fem
 
 try:
-    from .common import report, small_model_2d, small_model_3d
+    from .common import bench_cli, report, small_model_2d, small_model_3d
 except ImportError:
-    from common import report, small_model_2d, small_model_3d
+    from common import bench_cli, report, small_model_2d, small_model_3d
 
 OMEGA = np.array([0.3105, 1.5386, 0.0932, -1.2442])
 HEADER = ["case", "resolution", "inference_ms", "fem_ms", "speedup"]
@@ -51,4 +51,5 @@ def test_sec43_inference_vs_fem(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_sec43_inference_vs_fem")
     report("sec43_inference_vs_fem", HEADER, _run())

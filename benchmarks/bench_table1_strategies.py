@@ -23,9 +23,9 @@ import pytest
 from repro import MGTrainConfig, MultigridTrainer, PoissonProblem2D, PoissonProblem3D
 
 try:
-    from .common import report, small_model_2d, small_model_3d
+    from .common import bench_cli, report, small_model_2d, small_model_3d
 except ImportError:
-    from common import report, small_model_2d, small_model_3d
+    from common import bench_cli, report, small_model_2d, small_model_3d
 
 CASES_2D = [
     ("v", 2), ("v", 3),
@@ -125,5 +125,6 @@ def test_table1_3d(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_table1_strategies")
     report("table1_strategies_2d", HEADER, _run_2d(64, CASES_2D))
     report("table1_strategies_3d", HEADER, _run_3d())

@@ -24,9 +24,9 @@ import pytest
 from repro import MGTrainConfig, MultigridTrainer, PoissonProblem2D, Trainer
 
 try:
-    from .common import report, small_model_2d
+    from .common import bench_cli, report, small_model_2d
 except ImportError:
-    from common import report, small_model_2d
+    from common import bench_cli, report, small_model_2d
 
 HEADER = ["strategy", "params_initial", "params_final", "base_time_s",
           "mg_time_s", "base_loss", "mg_loss", "speedup"]
@@ -132,4 +132,5 @@ def test_adaptation_loss_recovers_quickly(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_table2_adaptation")
     report("table2_adaptation", HEADER, _run())

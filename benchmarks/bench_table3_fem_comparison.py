@@ -20,9 +20,9 @@ from repro.core import compare_fields
 from repro.multigrid import STRATEGIES
 
 try:
-    from .common import bench_config, report, small_model_2d
+    from .common import bench_cli, bench_config, report, small_model_2d
 except ImportError:
-    from common import bench_config, report, small_model_2d
+    from common import bench_cli, bench_config, report, small_model_2d
 
 PAPER_OMEGAS = {
     "table3_5_7a": (0.3105, 1.5386, 0.0932, -1.2442),
@@ -96,6 +96,7 @@ def test_table3_strategy_comparison(benchmark):
 
 
 if __name__ == "__main__":
+    bench_cli("bench_table3_fem_comparison")
     report("table457_fem_comparison", ["case", "rel_l2", "linf", "mae"],
            _run_tables_457())
     report("table3_strategy_errors", ["strategy", "rel_l2", "linf", "mae"],

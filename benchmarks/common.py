@@ -3,14 +3,27 @@
 Every benchmark regenerates one table or figure of the paper at
 downscaled size (see DESIGN.md's per-experiment index), prints the
 paper-style rows, and writes a CSV under ``benchmarks/results/``.
+
+Every ``bench_*.py`` accepts a shared CLI when run as a script::
+
+    python benchmarks/bench_fig2_epoch_time.py --backend numpy --dtype float64
+
+``--backend`` selects a registered array backend (``repro.backend``),
+``--dtype`` the default floating precision, and ``--conv-plan`` forces a
+conv execution path — so backends and engines can be A/B-compared from
+the command line on identical workloads.
 """
 
 from __future__ import annotations
 
+import argparse
 from pathlib import Path
 from typing import Sequence
 
 from repro import MGDiffNet, MGTrainConfig
+from repro.backend import (
+    available_backends, set_backend, set_conv_plan_mode, set_default_dtype,
+)
 from repro.utils import format_table, write_csv
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -21,6 +34,42 @@ def report(name: str, header: Sequence[str], rows: list[Sequence]) -> None:
     print(f"\n=== {name} ===")
     print(format_table(header, rows))
     write_csv(RESULTS_DIR / f"{name}.csv", header, rows)
+
+
+def add_backend_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared ``--backend``/``--dtype``/``--conv-plan`` flags."""
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help=f"array backend to activate (registered: {', '.join(available_backends())})")
+    parser.add_argument(
+        "--dtype", default=None, choices=["float32", "float64"],
+        help="default floating dtype for tensors built from Python data")
+    parser.add_argument(
+        "--conv-plan", default=None, choices=["auto", "im2col", "tensordot"],
+        help="force a conv execution path (default: planner decides)")
+    return parser
+
+
+def bench_cli(description: str = "repro benchmark",
+              argv: Sequence[str] | None = None,
+              extra_args=None) -> argparse.Namespace:
+    """Parse the shared benchmark CLI and apply the backend selection.
+
+    ``extra_args`` is an optional callable receiving the parser so a
+    benchmark can add its own flags.  Returns the parsed namespace.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    add_backend_args(parser)
+    if extra_args is not None:
+        extra_args(parser)
+    args = parser.parse_args(argv)
+    if args.backend:
+        set_backend(args.backend)
+    if args.dtype:
+        set_default_dtype(args.dtype)
+    if args.conv_plan:
+        set_conv_plan_mode(args.conv_plan)
+    return args
 
 
 def small_model_2d(rng: int = 42, base_filters: int = 8,

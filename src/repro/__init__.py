@@ -3,6 +3,8 @@ Megavoxel Domains* (Balu et al., SC 2021, arXiv:2104.14538).
 
 The package implements, from scratch in NumPy:
 
+* ``repro.backend``     — pluggable array backends, op dispatch, dtype
+                          policy, buffer pool, and the conv planner
 * ``repro.autograd``    — reverse-mode AD with N-d convolutions
 * ``repro.nn``          — Module system and the dimension-agnostic U-Net
 * ``repro.optim``       — SGD/Adam, schedulers, early stopping
@@ -41,6 +43,13 @@ _LAZY = {
     "TrainConfig": "repro.core.trainer",
     "MultigridTrainer": "repro.core.mg_trainer",
     "MGTrainConfig": "repro.core.mg_trainer",
+    # Array-backend layer (repro.backend)
+    "set_backend": "repro.backend",
+    "get_backend": "repro.backend",
+    "use_backend": "repro.backend",
+    "set_default_dtype": "repro.backend",
+    "get_default_dtype": "repro.backend",
+    "dtype_scope": "repro.backend",
 }
 
 __all__ = ["__version__", "Tensor", "no_grad", *sorted(_LAZY)]

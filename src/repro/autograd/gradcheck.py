@@ -10,6 +10,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..backend import ops as B
 from .tensor import Tensor
 
 __all__ = ["gradcheck", "numerical_gradient"]
@@ -55,10 +56,10 @@ def gradcheck(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
             continue
         analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
         numeric = numerical_gradient(fn, inputs, i, eps=eps)
-        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+        if not B.allclose(analytic, numeric, rtol=rtol, atol=atol):
             ok = False
             if raise_on_fail:
-                err = np.abs(analytic - numeric).max()
+                err = B.abs(analytic - numeric).max()
                 raise AssertionError(
                     f"gradcheck failed for input {i}: max abs err {err:.3e}\n"
                     f"analytic[:5]={np.asarray(analytic).reshape(-1)[:5]}\n"

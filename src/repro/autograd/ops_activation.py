@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ops as B
 from .function import Context, Function
 from .tensor import Tensor
 
@@ -13,7 +14,7 @@ __all__ = ["exp", "log", "sigmoid", "tanh", "relu", "leaky_relu", "abs_", "softp
 class Exp(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
-        out = np.exp(a)
+        out = B.exp(a)
         ctx.save_for_backward(out)
         return out
 
@@ -27,7 +28,7 @@ class Log(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
         ctx.save_for_backward(a)
-        return np.log(a)
+        return B.log(a)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
@@ -39,10 +40,10 @@ class Sigmoid(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
         # Numerically stable logistic.
-        out = np.empty_like(a)
+        out = B.empty_like(a)
         pos = a >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
-        e = np.exp(a[~pos])
+        out[pos] = 1.0 / (1.0 + B.exp(-a[pos]))
+        e = B.exp(a[~pos])
         out[~pos] = e / (1.0 + e)
         ctx.save_for_backward(out)
         return out
@@ -56,7 +57,7 @@ class Sigmoid(Function):
 class Tanh(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
-        out = np.tanh(a)
+        out = B.tanh(a)
         ctx.save_for_backward(out)
         return out
 
@@ -84,20 +85,20 @@ class LeakyReLU(Function):
         mask = a > 0
         ctx.meta["mask"] = mask
         ctx.meta["slope"] = negative_slope
-        return np.where(mask, a, negative_slope * a)
+        return B.where(mask, a, negative_slope * a)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
         mask = ctx.meta["mask"]
         slope = ctx.meta["slope"]
-        return grad * np.where(mask, 1.0, slope).astype(grad.dtype), None
+        return grad * B.where(mask, 1.0, slope).astype(grad.dtype), None
 
 
 class Abs(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
-        ctx.meta["sign"] = np.sign(a)
-        return np.abs(a)
+        ctx.meta["sign"] = B.sign(a)
+        return B.abs(a)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
@@ -108,15 +109,15 @@ class Softplus(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
         ctx.save_for_backward(a)
-        return np.logaddexp(0.0, a).astype(a.dtype)
+        return B.logaddexp(0.0, a).astype(a.dtype)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
         (a,) = ctx.saved
-        sig = np.empty_like(a)
+        sig = B.empty_like(a)
         pos = a >= 0
-        sig[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
-        e = np.exp(a[~pos])
+        sig[pos] = 1.0 / (1.0 + B.exp(-a[pos]))
+        e = B.exp(a[~pos])
         sig[~pos] = e / (1.0 + e)
         return (grad * sig,)
 

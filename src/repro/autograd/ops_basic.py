@@ -6,10 +6,12 @@ gradients back to the operand shapes via :func:`unbroadcast`.
 
 from __future__ import annotations
 
+from itertools import accumulate
 from typing import Any, Sequence
 
 import numpy as np
 
+from ..backend import ops as B
 from .function import Context, Function, unbroadcast
 from .tensor import Tensor
 
@@ -106,17 +108,16 @@ class MatMul(Function):
         if a.ndim == 1 and b.ndim == 1:
             return grad * b, grad * a
         if a.ndim == 1:
-            ga = grad @ np.swapaxes(b, -1, -2)
-            gb = np.outer(a, grad) if b.ndim == 2 else a[:, None] * grad[None, :]
+            ga = grad @ B.swapaxes(b, -1, -2)
+            gb = B.outer(a, grad) if b.ndim == 2 else a[:, None] * grad[None, :]
             return ga, gb
         if b.ndim == 1:
             ga = grad[..., None] * b
-            gb = np.tensordot(grad, a, axes=(range(grad.ndim), range(grad.ndim)))
             # grad shape == a.shape[:-1]; gb = sum over all leading axes.
-            gb = np.einsum("...i,...->i", a, grad)
+            gb = B.einsum("...i,...->i", a, grad)
             return ga, gb
-        ga = grad @ np.swapaxes(b, -1, -2)
-        gb = np.swapaxes(a, -1, -2) @ grad
+        ga = grad @ B.swapaxes(b, -1, -2)
+        gb = B.swapaxes(a, -1, -2) @ grad
         return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
 
 
@@ -137,24 +138,24 @@ class Transpose(Function):
         if axes is None:
             axes = tuple(reversed(range(a.ndim)))
         ctx.meta["axes"] = axes
-        return np.transpose(a, axes)
+        return B.transpose(a, axes)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
         axes = ctx.meta["axes"]
-        inv = np.argsort(axes)
-        return np.transpose(grad, inv), None
+        inv = B.argsort(axes)
+        return B.transpose(grad, inv), None
 
 
 class MoveAxis(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray, source: int, destination: int) -> np.ndarray:
         ctx.meta["src"], ctx.meta["dst"] = source, destination
-        return np.moveaxis(a, source, destination)
+        return B.moveaxis(a, source, destination)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        return np.moveaxis(grad, ctx.meta["dst"], ctx.meta["src"]), None, None
+        return B.moveaxis(grad, ctx.meta["dst"], ctx.meta["src"]), None, None
 
 
 class GetItem(Function):
@@ -167,8 +168,8 @@ class GetItem(Function):
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        out = np.zeros(ctx.meta["shape"], dtype=ctx.meta["dtype"])
-        np.add.at(out, ctx.meta["idx"], grad)
+        out = B.zeros(ctx.meta["shape"], dtype=ctx.meta["dtype"])
+        B.scatter_add(out, ctx.meta["idx"], grad)
         return out, None
 
 
@@ -180,8 +181,8 @@ class Pad(Function):
         ctx.meta["pad"] = pad_width
         ctx.meta["mode"] = mode
         if mode == "constant":
-            return np.pad(a, pad_width, mode="constant", constant_values=value)
-        return np.pad(a, pad_width, mode=mode)
+            return B.pad(a, pad_width, mode="constant", constant_values=value)
+        return B.pad(a, pad_width, mode=mode)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
@@ -200,25 +201,25 @@ class Concat(Function):
     def forward(ctx: Context, *arrays: np.ndarray, axis: int = 0) -> np.ndarray:
         ctx.meta["axis"] = axis
         ctx.meta["sizes"] = [a.shape[axis] for a in arrays]
-        return np.concatenate(arrays, axis=axis)
+        return B.concatenate(arrays, axis=axis)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
         axis = ctx.meta["axis"]
         sizes = ctx.meta["sizes"]
-        splits = np.cumsum(sizes)[:-1]
-        return tuple(np.split(grad, splits, axis=axis))
+        splits = list(accumulate(sizes))[:-1]
+        return tuple(B.split(grad, splits, axis=axis))
 
 
 class Flip(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray, axis: int | tuple[int, ...]) -> np.ndarray:
         ctx.meta["axis"] = axis
-        return np.flip(a, axis=axis)
+        return B.flip(a, axis=axis)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        return np.flip(grad, axis=ctx.meta["axis"]).copy(), None
+        return B.flip(grad, axis=ctx.meta["axis"]).copy(), None
 
 
 class Where(Function):
@@ -226,14 +227,14 @@ class Where(Function):
     def forward(ctx: Context, cond: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         ctx.meta["cond"] = cond
         ctx.meta["shapes"] = (a.shape, b.shape)
-        return np.where(cond, a, b)
+        return B.where(cond, a, b)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
         cond = ctx.meta["cond"]
         sa, sb = ctx.meta["shapes"]
-        ga = unbroadcast(np.where(cond, grad, 0.0), sa)
-        gb = unbroadcast(np.where(cond, 0.0, grad), sb)
+        ga = unbroadcast(B.where(cond, grad, 0.0), sa)
+        gb = unbroadcast(B.where(cond, 0.0, grad), sb)
         return None, ga, gb
 
 
@@ -241,7 +242,7 @@ class Clip(Function):
     @staticmethod
     def forward(ctx: Context, a: np.ndarray, lo: float, hi: float) -> np.ndarray:
         ctx.meta["mask"] = (a >= lo) & (a <= hi)
-        return np.clip(a, lo, hi)
+        return B.clip(a, lo, hi)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
@@ -261,7 +262,7 @@ class ZeroStuff(Function):
                 first_axis: int = 2) -> np.ndarray:
         spatial = a.shape[first_axis:]
         out_spatial = tuple((s - 1) * st + 1 for s, st in zip(spatial, stride))
-        out = np.zeros(a.shape[:first_axis] + out_spatial, dtype=a.dtype)
+        out = B.zeros(a.shape[:first_axis] + out_spatial, dtype=a.dtype)
         idx = (slice(None),) * first_axis + tuple(
             slice(None, None, st) for st in stride)
         out[idx] = a

@@ -1,11 +1,13 @@
 """N-dimensional convolution, transposed convolution and pooling.
 
-The convolution is dimension agnostic (the same code path serves the 2D and
-3D MGDiffNet variants) and is vectorized *per kernel offset*: for a k^d
-kernel the forward pass issues k^d large ``tensordot`` contractions instead
-of building an im2col matrix.  This keeps peak memory at O(input) — the
-property that lets the 3D U-Net run on modest hosts — while every FLOP goes
-through BLAS.
+The convolution is dimension agnostic (the same code path serves the 2D
+and 3D MGDiffNet variants).  *How* each conv executes is decided by the
+planning engine in :mod:`repro.backend.conv_plan`: per-offset
+``tensordot`` contractions (O(input) peak memory — the property that lets
+the 3D U-Net run on modest hosts) or a single im2col/GEMM (fastest for
+the small-kernel/many-channel signatures of the U-Net trunk).  Plans are
+memoized per (shape, kernel, stride) signature, so steady-state training
+pays a dict lookup.
 
 Layouts follow the common deep-learning convention:
 
@@ -16,11 +18,13 @@ Layouts follow the common deep-learning convention:
 
 from __future__ import annotations
 
-from itertools import product
+import math
 from typing import Sequence
 
 import numpy as np
 
+from ..backend import ops as B
+from ..backend.conv_plan import plan_conv, run_conv_forward, run_conv_backward
 from .function import Context, Function
 from .tensor import Tensor
 from . import ops_basic as ob
@@ -64,7 +68,12 @@ def conv_transpose_output_shape(spatial: Sequence[int], kernel: Sequence[int],
 
 
 class ConvNd(Function):
-    """N-dimensional cross-correlation (the deep-learning 'convolution')."""
+    """N-dimensional cross-correlation (the deep-learning 'convolution').
+
+    Execution strategy (tensordot vs im2col) is delegated to the memoized
+    conv planner; both paths are numerically equivalent and both are
+    exercised by the parity tests.
+    """
 
     @staticmethod
     def forward(ctx: Context, x: np.ndarray, w: np.ndarray, b: np.ndarray | None,
@@ -78,28 +87,20 @@ class ConvNd(Function):
 
         if any(padding):
             padw = ((0, 0), (0, 0)) + tuple((p, p) for p in padding)
-            xp = np.pad(x, padw)
+            xp = B.pad(x, padw)
         else:
             xp = x
         out_spatial = conv_output_shape(xp.shape[2:], kernel, stride, (0,) * nd)
 
-        # Accumulate in channels-last layout so each offset is one GEMM.
-        acc = np.zeros((n, *out_spatial, cout), dtype=x.dtype)
-        spatial_axes = list(range(2, 2 + nd))
-        for offset in product(*(range(k) for k in kernel)):
-            sl = tuple(slice(o, o + (so - 1) * st + 1, st)
-                       for o, so, st in zip(offset, out_spatial, stride))
-            xs = xp[(slice(None), slice(None)) + sl]        # (N, Cin, *So)
-            wo = w[(slice(None), slice(None)) + offset]      # (Cout, Cin)
-            acc += np.tensordot(xs, wo, axes=([1], [1]))     # (N, *So, Cout)
-        out = np.moveaxis(acc, -1, 1)
+        plan = plan_conv(x.shape, w.shape, stride, padding, x.dtype)
+        out = run_conv_forward(plan, xp, w, stride, out_spatial)
         if b is not None:
             out = out + b.reshape((1, cout) + (1,) * nd)
 
         ctx.save_for_backward(xp, w)
         ctx.meta.update(stride=stride, padding=padding, kernel=kernel,
                         out_spatial=out_spatial, has_bias=b is not None,
-                        x_shape=x.shape)
+                        x_shape=x.shape, plan=plan)
         return out
 
     @staticmethod
@@ -109,26 +110,11 @@ class ConvNd(Function):
         padding = ctx.meta["padding"]
         kernel = ctx.meta["kernel"]
         out_spatial = ctx.meta["out_spatial"]
+        plan = ctx.meta["plan"]
         nd = len(kernel)
-        n = grad.shape[0]
 
-        gmoved = np.moveaxis(grad, 1, -1)                    # (N, *So, Cout)
-        dxp = np.zeros_like(xp)
-        dw = np.zeros_like(w)
-        contract_axes = [0] + list(range(1, 1 + nd))          # N + spatial of gmoved
-        xs_axes = [0] + list(range(2, 2 + nd))                # N + spatial of xs
-        for offset in product(*(range(k) for k in kernel)):
-            sl = tuple(slice(o, o + (so - 1) * st + 1, st)
-                       for o, so, st in zip(offset, out_spatial, stride))
-            idx = (slice(None), slice(None)) + sl
-            xs = xp[idx]
-            wo = w[(slice(None), slice(None)) + offset]
-            # dW for this offset: contract batch+spatial.
-            dw[(slice(None), slice(None)) + offset] = np.tensordot(
-                gmoved, xs, axes=(contract_axes, xs_axes))
-            # dx contribution: (N, *So, Cout) @ (Cout, Cin) -> (N, *So, Cin)
-            dxs = np.tensordot(gmoved, wo, axes=([nd + 1], [0]))
-            dxp[idx] += np.moveaxis(dxs, -1, 1)
+        gmoved = B.moveaxis(grad, 1, -1)                     # (N, *So, Cout)
+        dxp, dw = run_conv_backward(plan, xp, w, gmoved, stride, out_spatial)
         # Strip padding.
         if any(padding):
             sl = (slice(None), slice(None)) + tuple(
@@ -172,7 +158,7 @@ class MaxPoolNd(Function):
         pool_axes = ctx.meta["pool_axes"]
         g = grad
         for ax in pool_axes:
-            g = np.expand_dims(g, ax)
+            g = B.expand_dims(g, ax)
         dx = (mask * (g / counts)).reshape(ctx.meta["x_shape"])
         return dx, None
 
@@ -193,7 +179,7 @@ class AvgPoolNd(Function):
         pool_axes = tuple(3 + 2 * i for i in range(nd))
         out = x.reshape(new_shape).mean(axis=pool_axes)
         ctx.meta.update(pool_axes=pool_axes, x_shape=x.shape, kernel=kernel,
-                        count=int(np.prod(kernel)))
+                        count=math.prod(kernel))
         return out
 
     @staticmethod
@@ -203,12 +189,12 @@ class AvgPoolNd(Function):
         shape = ctx.meta["x_shape"]
         g = grad / ctx.meta["count"]
         for ax in pool_axes:
-            g = np.expand_dims(g, ax)
+            g = B.expand_dims(g, ax)
         # Broadcast each singleton pool axis back to its kernel extent.
         target = list(g.shape)
         for k, ax in zip(kernel, pool_axes):
             target[ax] = k
-        dx = np.broadcast_to(g, target).reshape(shape).copy()
+        dx = B.broadcast_to(g, target).reshape(shape).copy()
         return dx, None
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ops as B
 from .function import Context, Function
 from .tensor import Tensor
 
@@ -27,7 +28,7 @@ class BatchNorm(Function):
         axes = (0,) + tuple(range(2, 2 + nd))
         mean = x.mean(axis=axes, keepdims=True)
         var = x.var(axis=axes, keepdims=True)
-        inv_std = 1.0 / np.sqrt(var + eps)
+        inv_std = 1.0 / B.sqrt(var + eps)
         xhat = (x - mean) * inv_std
         gshape = (1, -1) + (1,) * nd
         out = gamma.reshape(gshape) * xhat + beta.reshape(gshape)
@@ -61,7 +62,7 @@ class BatchNormInference(Function):
                 eps: float = 1e-5) -> np.ndarray:
         nd = x.ndim - 2
         gshape = (1, -1) + (1,) * nd
-        inv_std = 1.0 / np.sqrt(running_var.reshape(gshape) + eps)
+        inv_std = 1.0 / B.sqrt(running_var.reshape(gshape) + eps)
         xhat = (x - running_mean.reshape(gshape)) * inv_std
         ctx.meta.update(xhat=xhat, inv_std=inv_std, gamma=gamma, gshape=gshape,
                         axes=(0,) + tuple(range(2, 2 + nd)))

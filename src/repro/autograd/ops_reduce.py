@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from ..backend import ops as B
 from .function import Context, Function
 from .tensor import Tensor
 
@@ -32,8 +35,8 @@ class Sum(Function):
         axis = ctx.meta["axis"]
         if not ctx.meta["keepdims"]:
             for ax in sorted(axis):
-                grad = np.expand_dims(grad, ax)
-        return np.broadcast_to(grad, shape).copy(), None, None
+                grad = B.expand_dims(grad, ax)
+        return B.broadcast_to(grad, shape).copy(), None, None
 
 
 class Mean(Function):
@@ -43,7 +46,7 @@ class Mean(Function):
         axes = _normalize_axis(axis, a.ndim)
         ctx.meta["axis"] = axes
         ctx.meta["keepdims"] = keepdims
-        ctx.meta["count"] = int(np.prod([a.shape[ax] for ax in axes]))
+        ctx.meta["count"] = math.prod(a.shape[ax] for ax in axes)
         return a.mean(axis=axis, keepdims=keepdims)
 
     @staticmethod
@@ -52,8 +55,8 @@ class Mean(Function):
         axis = ctx.meta["axis"]
         if not ctx.meta["keepdims"]:
             for ax in sorted(axis):
-                grad = np.expand_dims(grad, ax)
-        return (np.broadcast_to(grad, shape) / ctx.meta["count"]).copy(), None, None
+                grad = B.expand_dims(grad, ax)
+        return (B.broadcast_to(grad, shape) / ctx.meta["count"]).copy(), None, None
 
 
 class Max(Function):
@@ -77,7 +80,7 @@ class Max(Function):
         axes = ctx.meta["axis"]
         if not ctx.meta["keepdims"]:
             for ax in sorted(axes):
-                grad = np.expand_dims(grad, ax)
+                grad = B.expand_dims(grad, ax)
         return grad * ctx.meta["mask"] / ctx.meta["counts"], None, None
 
 
@@ -101,7 +104,7 @@ class Min(Function):
         axes = ctx.meta["axis"]
         if not ctx.meta["keepdims"]:
             for ax in sorted(axes):
-                grad = np.expand_dims(grad, ax)
+                grad = B.expand_dims(grad, ax)
         return grad * ctx.meta["mask"] / ctx.meta["counts"], None, None
 
 

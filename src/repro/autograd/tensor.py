@@ -14,21 +14,11 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from ..backend import ops as B
+from ..backend.dtype import get_default_dtype, set_default_dtype
 from .function import Context, Function, is_grad_enabled
 
-__all__ = ["Tensor", "DEFAULT_DTYPE", "set_default_dtype", "get_default_dtype"]
-
-DEFAULT_DTYPE = np.float32
-
-
-def set_default_dtype(dtype: Any) -> None:
-    """Set the dtype used when constructing tensors from Python data."""
-    global DEFAULT_DTYPE
-    DEFAULT_DTYPE = np.dtype(dtype).type
-
-
-def get_default_dtype() -> Any:
-    return DEFAULT_DTYPE
+__all__ = ["Tensor", "set_default_dtype", "get_default_dtype"]
 
 
 class Tensor:
@@ -40,13 +30,13 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         if isinstance(data, (np.ndarray, np.generic)):
-            data = np.asarray(data)
+            data = B.asarray(data)
             if dtype is not None and data.dtype != np.dtype(dtype):
                 data = data.astype(dtype)
         else:
-            data = np.asarray(data, dtype=dtype or DEFAULT_DTYPE)
+            data = B.asarray(data, dtype=dtype or get_default_dtype())
         if not np.issubdtype(data.dtype, np.floating):
-            data = data.astype(DEFAULT_DTYPE)
+            data = data.astype(get_default_dtype())
         self.data: np.ndarray = data
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad)
@@ -78,7 +68,11 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"Tensor.item() requires a single-element tensor, "
+                f"got shape {self.shape} ({self.size} elements)")
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a view of the data severed from the autodiff graph."""
@@ -105,17 +99,18 @@ class Tensor:
     # ------------------------------------------------------------------ #
     @staticmethod
     def zeros(*shape: int, requires_grad: bool = False, dtype: Any = None) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=dtype or DEFAULT_DTYPE), requires_grad)
+        return Tensor(B.zeros(shape, dtype=dtype or get_default_dtype()), requires_grad)
 
     @staticmethod
     def ones(*shape: int, requires_grad: bool = False, dtype: Any = None) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=dtype or DEFAULT_DTYPE), requires_grad)
+        return Tensor(B.ones(shape, dtype=dtype or get_default_dtype()), requires_grad)
 
     @staticmethod
     def randn(*shape: int, rng: np.random.Generator | None = None,
               requires_grad: bool = False, dtype: Any = None) -> "Tensor":
         rng = rng or np.random.default_rng()
-        return Tensor(rng.standard_normal(shape).astype(dtype or DEFAULT_DTYPE), requires_grad)
+        return Tensor(rng.standard_normal(shape).astype(
+            dtype or get_default_dtype()), requires_grad)
 
     @staticmethod
     def from_numpy(arr: np.ndarray, requires_grad: bool = False) -> "Tensor":
@@ -131,8 +126,8 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be supplied for non-scalar outputs")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            grad = B.ones_like(self.data)
+        grad = B.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -172,9 +167,10 @@ class Tensor:
                     grads[id(p)] = grads[id(p)] + pg
                 else:
                     grads[id(p)] = pg
-            # Interior nodes with requires_grad that are also leaves of interest
-            if node is not self and node._fn is not None:
-                node._ctx = node._ctx  # keep graph intact for potential re-backward
+            # Interior-node gradients are deliberately not retained: only
+            # leaves accumulate into ``.grad`` (see the leaf branch above),
+            # which keeps memory at O(parameters) instead of O(graph).
+            # Use ``.detach()``-free leaf tensors to inspect interior grads.
 
     # ------------------------------------------------------------------ #
     # Arithmetic (operator protocol) — implementations in ops_basic
@@ -183,7 +179,7 @@ class Tensor:
         from . import ops_basic as ob
 
         other_t = other if isinstance(other, Tensor) else Tensor(
-            np.asarray(other, dtype=self.dtype))
+            B.asarray(other, dtype=self.dtype))
         fn = getattr(ob, fn_name)
         return fn(other_t, self) if swap else fn(self, other_t)
 

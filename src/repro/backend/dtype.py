@@ -1,0 +1,75 @@
+"""Default floating-point dtype policy.
+
+Tensors constructed from Python data, parameter initialisers and pooled
+scratch buffers all consult this policy, so switching the whole stack to
+float64 (e.g. for gradchecks or FEM consistency studies) is one call:
+
+    from repro.backend import set_default_dtype, dtype_scope
+
+    set_default_dtype("float64")          # sticky default
+    with dtype_scope("float64"):          # or scoped
+        ...
+
+Overrides are tracked per thread (so concurrent training loops can pin
+different precisions without racing each other), but a thread that never
+set its own policy inherits the most recent ``set_default_dtype`` value
+rather than resetting to float32.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["get_default_dtype", "set_default_dtype", "dtype_scope"]
+
+_ALLOWED = (np.float32, np.float64)
+
+# Last process-wide default; new threads initialise from this.
+_global_default: type = np.float32
+
+
+class _DtypePolicy(threading.local):
+    def __init__(self) -> None:
+        self.dtype = _global_default
+
+
+_policy = _DtypePolicy()
+
+
+def _coerce(dtype: Any) -> type:
+    dt = np.dtype(dtype).type
+    if dt not in _ALLOWED:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {np.dtype(dtype)}")
+    return dt
+
+
+def get_default_dtype() -> type:
+    """The scalar type used when constructing tensors from Python data."""
+    return _policy.dtype
+
+
+def set_default_dtype(dtype: Any) -> None:
+    """Set the default floating dtype (``float32`` or ``float64``).
+
+    Applies to the calling thread immediately and becomes the starting
+    default for threads created afterwards.
+    """
+    global _global_default
+    _global_default = _coerce(dtype)
+    _policy.dtype = _global_default
+
+
+@contextmanager
+def dtype_scope(dtype: Any) -> Iterator[type]:
+    """Temporarily switch the default dtype within a ``with`` block."""
+    prev = _policy.dtype
+    _policy.dtype = _coerce(dtype)
+    try:
+        yield _policy.dtype
+    finally:
+        _policy.dtype = prev

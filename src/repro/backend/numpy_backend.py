@@ -1,0 +1,93 @@
+"""Reference NumPy backend.
+
+Every op maps to the obvious NumPy call; the few that have no direct
+module-level equivalent (``scatter_add``, ``norm``) get thin adapters.
+This is both the default execution backend and the semantic reference an
+accelerated backend must match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view as _swv
+
+from .base import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+def _scatter_add(target: np.ndarray, idx, values: np.ndarray) -> np.ndarray:
+    """In-place unbuffered ``target[idx] += values`` (np.add.at)."""
+    np.add.at(target, idx, values)
+    return target
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference array backend (plain NumPy, single threaded)."""
+
+    name = "numpy"
+
+
+NumpyBackend.register_ops({
+    # Constructors / conversion
+    "asarray": np.asarray,
+    "ascontiguousarray": np.ascontiguousarray,
+    "zeros": np.zeros,
+    "ones": np.ones,
+    "empty": np.empty,
+    "full": np.full,
+    "zeros_like": np.zeros_like,
+    "ones_like": np.ones_like,
+    "empty_like": np.empty_like,
+    "full_like": np.full_like,
+    "arange": np.arange,
+    "linspace": np.linspace,
+    "copyto": np.copyto,
+    # Elementwise math
+    "exp": np.exp,
+    "log": np.log,
+    "logaddexp": np.logaddexp,
+    "sqrt": np.sqrt,
+    "tanh": np.tanh,
+    "sign": np.sign,
+    "abs": np.abs,
+    "floor": np.floor,
+    "maximum": np.maximum,
+    "minimum": np.minimum,
+    "clip": np.clip,
+    "where": np.where,
+    # Linear algebra / contractions
+    "matmul": np.matmul,
+    "dot": np.dot,
+    "tensordot": np.tensordot,
+    "einsum": np.einsum,
+    "outer": np.outer,
+    "norm": np.linalg.norm,
+    # Shape manipulation
+    "pad": np.pad,
+    "moveaxis": np.moveaxis,
+    "swapaxes": np.swapaxes,
+    "transpose": np.transpose,
+    "expand_dims": np.expand_dims,
+    "broadcast_to": np.broadcast_to,
+    "concatenate": np.concatenate,
+    "stack": np.stack,
+    "split": np.split,
+    "flip": np.flip,
+    "take": np.take,
+    "sliding_window_view": _swv,
+    # Reductions / predicates
+    "sum": np.sum,
+    "mean": np.mean,
+    "var": np.var,
+    "std": np.std,
+    "max": np.max,
+    "min": np.min,
+    "cumsum": np.cumsum,
+    "argsort": np.argsort,
+    "allclose": np.allclose,
+    "any": np.any,
+    "all": np.all,
+    # Indexed updates
+    "scatter_add": _scatter_add,
+})

@@ -1,0 +1,129 @@
+"""Backend registry: named backends, the active-backend switch and the
+module-level op dispatcher.
+
+``set_backend("numpy")`` activates a registered backend; every op call
+made through :data:`ops` after that resolves against it.  The active
+backend is thread-local so a worker thread can pin a different backend
+without perturbing the main loop.  ``REPRO_BACKEND`` selects the initial
+backend for the whole process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, Iterator
+
+from .base import ArrayBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "register_backend", "available_backends", "set_backend", "get_backend",
+    "use_backend", "ops",
+]
+
+_REGISTRY_LOCK = threading.Lock()
+_BACKENDS: dict[str, ArrayBackend | Callable[[], ArrayBackend]] = {}
+
+
+class _ActiveBackend(threading.local):
+    def __init__(self) -> None:
+        self.backend: ArrayBackend | None = None
+
+
+_active = _ActiveBackend()
+
+
+def register_backend(name: str,
+                     backend: ArrayBackend | Callable[[], ArrayBackend],
+                     ) -> None:
+    """Register a backend instance (or zero-arg factory) under ``name``."""
+    with _REGISTRY_LOCK:
+        _BACKENDS[name] = backend
+
+
+def available_backends() -> tuple[str, ...]:
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_BACKENDS))
+
+
+def _resolve(name: str) -> ArrayBackend:
+    with _REGISTRY_LOCK:
+        entry = _BACKENDS.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {available_backends()}")
+    if isinstance(entry, ArrayBackend):
+        return entry
+    instance = entry()
+    if not isinstance(instance, ArrayBackend):
+        raise TypeError(f"backend factory for {name!r} returned {type(instance)}")
+    # Memoize the factory result so repeated set_backend calls share state
+    # (notably the buffer pool).
+    with _REGISTRY_LOCK:
+        _BACKENDS[name] = instance
+    return instance
+
+
+def set_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Activate a backend by registered name (or instance); returns it."""
+    resolved = backend if isinstance(backend, ArrayBackend) else _resolve(backend)
+    _active.backend = resolved
+    return resolved
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend, initialising from ``REPRO_BACKEND`` (default
+    ``numpy``) on first use."""
+    backend = _active.backend
+    if backend is None:
+        backend = set_backend(os.environ.get("REPRO_BACKEND", "numpy"))
+    return backend
+
+
+class use_backend:
+    """Context manager temporarily activating a backend.
+
+    ::
+
+        with use_backend("numpy"):
+            ...
+    """
+
+    def __init__(self, backend: str | ArrayBackend) -> None:
+        self._target = backend
+        self._prev: ArrayBackend | None = None
+
+    def __enter__(self) -> ArrayBackend:
+        self._prev = _active.backend
+        return set_backend(self._target)
+
+    def __exit__(self, *exc: Any) -> None:
+        _active.backend = self._prev
+
+
+class _OpDispatcher:
+    """Attribute access resolves op names against the active backend.
+
+    Import it as ``B`` and call ``B.tensordot(...)``; each call looks up
+    the op at call time, so ``set_backend`` switches running code too.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return get_backend().op(name)
+
+    def __dir__(self) -> Iterator[str]:  # pragma: no cover - REPL sugar
+        return iter(get_backend().op_names())
+
+    def __repr__(self) -> str:
+        return f"<op dispatcher -> {get_backend().name!r}>"
+
+
+ops = _OpDispatcher()
+
+# The reference backend ships registered and ready.
+register_backend("numpy", NumpyBackend())

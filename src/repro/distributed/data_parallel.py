@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import ops as B
 from ..autograd import Tensor
 from ..data.dataloader import BatchSampler, shard_batch
 from ..optim import Adam, SGD
@@ -37,7 +38,7 @@ def flatten_gradients(params) -> np.ndarray:
     for p in params:
         g = p.grad if p.grad is not None else np.zeros_like(p.data)
         parts.append(np.asarray(g, dtype=np.float64).ravel())
-    return np.concatenate(parts) if parts else np.zeros(0)
+    return B.concatenate(parts) if parts else np.zeros(0)
 
 
 def unflatten_to_gradients(flat: np.ndarray, params) -> None:
@@ -198,7 +199,7 @@ class DataParallelTrainer:
         if cfg.check_sync:
             self._assert_synced()
         # Global loss = mean of equally-sized local losses.
-        return float(np.mean(losses))
+        return float(B.mean(losses))
 
     # ------------------------------------------------------------------ #
     def _sync_bn_stats(self) -> None:
@@ -215,7 +216,7 @@ class DataParallelTrainer:
                     if n == name:
                         stacked.append(np.asarray(buf, dtype=np.float64))
                         break
-            mean = np.mean(stacked, axis=0)
+            mean = B.mean(stacked, axis=0)
             for rep in self.replicas:
                 self._set_buffer(rep, name, mean)
 
@@ -232,6 +233,6 @@ class DataParallelTrainer:
         ref = self.replicas[0].state_dict()
         for i, rep in enumerate(self.replicas[1:], start=1):
             for k, v in rep.state_dict().items():
-                if not np.allclose(v, ref[k], atol=atol, rtol=0):
+                if not B.allclose(v, ref[k], atol=atol, rtol=0):
                     raise AssertionError(
                         f"replica {i} desynchronized at {k!r}")

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import ops as B
 from ..autograd import Tensor, no_grad
 from ..nn.conv import ConvNd
 
@@ -48,12 +49,12 @@ def split_slabs(x: np.ndarray, world_size: int, axis: int = 2
     size = x.shape[axis]
     if size % world_size:
         raise ValueError(f"axis size {size} not divisible by {world_size}")
-    return [s.copy() for s in np.split(x, world_size, axis=axis)]
+    return [s.copy() for s in B.split(x, world_size, axis=axis)]
 
 
 def join_slabs(slabs: list[np.ndarray], axis: int = 2) -> np.ndarray:
     """Concatenate rank slabs back into the global field."""
-    return np.concatenate(slabs, axis=axis)
+    return B.concatenate(slabs, axis=axis)
 
 
 def halo_exchange(slabs: list[np.ndarray], halo: int, axis: int = 2,
@@ -74,7 +75,7 @@ def halo_exchange(slabs: list[np.ndarray], halo: int, axis: int = 2,
     for r, s in enumerate(slabs):
         pieces = []
         if r > 0:
-            left = np.take(slabs[r - 1],
+            left = B.take(slabs[r - 1],
                            range(slabs[r - 1].shape[axis] - halo,
                                  slabs[r - 1].shape[axis]), axis=axis)
             sent.append(left)
@@ -85,14 +86,14 @@ def halo_exchange(slabs: list[np.ndarray], halo: int, axis: int = 2,
         pieces.append(left)
         pieces.append(s)
         if r < p - 1:
-            right = np.take(slabs[r + 1], range(halo), axis=axis)
+            right = B.take(slabs[r + 1], range(halo), axis=axis)
             sent.append(right)
         else:
             shape = list(s.shape)
             shape[axis] = halo
             right = np.zeros(shape, dtype=s.dtype)
         pieces.append(right)
-        padded.append(np.concatenate(pieces, axis=axis))
+        padded.append(B.concatenate(pieces, axis=axis))
     if stats is not None:
         stats.charge(sent)
     return padded

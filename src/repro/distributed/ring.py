@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import get_pool, ops as B
+
 __all__ = ["RingStats", "ring_allreduce"]
 
 
@@ -90,7 +92,15 @@ def ring_allreduce(buffers: list[np.ndarray], average: bool = False
         return [out], stats
 
     chunks = _chunk_slices(n, p)
-    work = [b.astype(np.float64, copy=True) for b in buffers]
+    # Per-rank accumulation buffers come from the backend pool: gradient
+    # fusion buffers are identical in shape every step, so steady-state
+    # training reuses the same p allocations instead of churning them.
+    pool = get_pool()
+    work = []
+    for b in buffers:
+        w = pool.acquire(b.shape, np.float64)
+        B.copyto(w, b)
+        work.append(w)
 
     # Phase 1: scatter-reduce.  At step s, rank r sends chunk (r - s) mod p
     # to rank (r + 1) mod p, which accumulates it.
@@ -99,7 +109,6 @@ def ring_allreduce(buffers: list[np.ndarray], average: bool = False
         for r in range(p):
             ci = (r - s) % p
             sends.append((r, ci, work[r][chunks[ci]].copy()))
-            stats.bytes_sent_per_rank = stats.bytes_sent_per_rank  # per-rank below
         for r, ci, data in sends:
             dest = (r + 1) % p
             work[dest][chunks[ci]] += data
@@ -127,4 +136,6 @@ def ring_allreduce(buffers: list[np.ndarray], average: bool = False
         for w in work:
             w /= p
     out = [w.astype(buffers[0].dtype) for w in work]
+    for w in work:
+        pool.release(w)
     return out, stats

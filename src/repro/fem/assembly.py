@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..backend import ops as B
+
 from .basis import local_nodes, shape_gradients, shape_values
 from .grid import UniformGrid
 from .quadrature import GaussRule
@@ -56,7 +58,7 @@ def element_stiffness_tensors(grid: UniformGrid, rule: GaussRule) -> np.ndarray:
     det_j = (h / 2.0) ** d
     scale = (2.0 / h) ** 2
     # S[g,a,b] = w_g * detJ * scale * sum_k grads[g,a,k] grads[g,b,k]
-    dots = np.einsum("gak,gbk->gab", grads, grads)
+    dots = B.einsum("gak,gbk->gab", grads, grads)
     return rule.weights[:, None, None] * det_j * scale * dots
 
 
@@ -114,7 +116,7 @@ def assemble_load(grid: UniformGrid, f_nodal: np.ndarray | None,
     b = np.zeros(grid.num_nodes, dtype=np.float64)
     for a in range(len(node_idx)):
         contrib = (rule.weights * values[:, a]) @ f_flat * det_j
-        np.add.at(b, node_idx[a], contrib)
+        B.scatter_add(b, node_idx[a], contrib)
     return b
 
 
@@ -123,7 +125,7 @@ def assemble_mass(grid: UniformGrid, rule: GaussRule | None = None) -> sp.csr_ma
     rule = rule or GaussRule.create(grid.ndim, 2)
     values = shape_values(rule.points)  # (G, A)
     det_j = (grid.h / 2.0) ** grid.ndim
-    m_local = np.einsum("g,ga,gb->ab", rule.weights, values, values) * det_j
+    m_local = B.einsum("g,ga,gb->ab", rule.weights, values, values) * det_j
     node_idx = _element_node_indices(grid)
     n_local = len(node_idx)
     ne = grid.num_elements

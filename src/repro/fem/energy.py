@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ops as B
 from ..autograd import Tensor, conv_nd
 from .basis import local_nodes, shape_gradients, shape_values
 from .grid import UniformGrid
@@ -140,7 +141,7 @@ class EnergyLoss:
         if self.forcing is not None:
             u_gauss = conv_nd(u, vker)                       # (N, G, *E)
             f_gauss = self._interp_numpy(
-                np.broadcast_to(self.forcing, u.shape).astype(u.dtype))
+                B.broadcast_to(self.forcing, u.shape).astype(u.dtype))
             wdet_f = (self._wg * self._det_j).astype(u.dtype).reshape(
                 (1, g) + (1,) * d)
             load = (u_gauss * Tensor(f_gauss.reshape((n, g) + elem_shape))

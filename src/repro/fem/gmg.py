@@ -17,6 +17,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..backend import ops as B
+
 from .assembly import assemble_load, assemble_stiffness
 from .grid import UniformGrid
 from .quadrature import GaussRule
@@ -107,7 +109,7 @@ class GeometricMultigrid:
     def _smooth(self, level: _Level, x: np.ndarray, b: np.ndarray,
                 sweeps: int) -> np.ndarray:
         interior = ~level.dirichlet
-        inv_d = np.where(level.diag != 0, 1.0 / level.diag, 0.0)
+        inv_d = B.where(level.diag != 0, 1.0 / level.diag, 0.0)
         for _ in range(sweeps):
             r = b - level.matrix @ x
             x = x + self.omega * inv_d * r * interior
@@ -164,11 +166,11 @@ class GeometricMultigrid:
         # of chasing a tolerance relative to their own tiny residual.
         r_ref = b - fine.matrix @ self.bc.lift().ravel()
         r_ref[fine.dirichlet] = 0.0
-        norm0 = max(float(np.linalg.norm(r_ref)), 1e-300)
+        norm0 = max(float(B.norm(r_ref)), 1e-300)
 
         r = b - fine.matrix @ u
         r[fine.dirichlet] = 0.0
-        rel = float(np.linalg.norm(r)) / norm0
+        rel = float(B.norm(r)) / norm0
         history = [rel]
         converged = rel < tol
         it = 0
@@ -178,7 +180,7 @@ class GeometricMultigrid:
             u = u + e
             r = b - fine.matrix @ u
             r[fine.dirichlet] = 0.0
-            rel = float(np.linalg.norm(r)) / norm0
+            rel = float(B.norm(r)) / norm0
             history.append(rel)
             converged = rel < tol
         self.last_report = GMGReport(iterations=it, residual=history[-1],

@@ -14,6 +14,8 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from ..backend import ops as B
+
 __all__ = ["CGReport", "conjugate_gradient", "jacobi_preconditioner",
            "gmg_preconditioner"]
 
@@ -61,8 +63,8 @@ def conjugate_gradient(matvec: Callable[[np.ndarray], np.ndarray] | sp.spmatrix,
     z = preconditioner(r) if preconditioner else r
     p = z.copy()
     rz = float(r @ z)
-    norm_b = max(float(np.linalg.norm(b)), 1e-300)
-    history = [float(np.linalg.norm(r)) / norm_b]
+    norm_b = max(float(B.norm(b)), 1e-300)
+    history = [float(B.norm(r)) / norm_b]
     converged = history[0] < tol
     it = 0
     while not converged and it < maxiter:
@@ -74,7 +76,7 @@ def conjugate_gradient(matvec: Callable[[np.ndarray], np.ndarray] | sp.spmatrix,
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap
-        rel = float(np.linalg.norm(r)) / norm_b
+        rel = float(B.norm(r)) / norm_b
         history.append(rel)
         if rel < tol:
             converged = True
@@ -91,7 +93,7 @@ def conjugate_gradient(matvec: Callable[[np.ndarray], np.ndarray] | sp.spmatrix,
 def jacobi_preconditioner(a: sp.spmatrix) -> Callable[[np.ndarray], np.ndarray]:
     """Diagonal (Jacobi) preconditioner ``r -> D^{-1} r``."""
     diag = np.asarray(a.diagonal(), dtype=np.float64)
-    if np.any(diag <= 0):
+    if B.any(diag <= 0):
         raise ValueError("non-positive diagonal; matrix not SPD?")
     inv = 1.0 / diag
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import ops as B
 from ..autograd import Tensor
 from .basis import local_nodes, shape_values
 from .grid import UniformGrid
@@ -85,10 +86,10 @@ def _face_load(grid: UniformGrid, bc: NeumannBC,
     load = np.zeros((r,) * face_dim)
     elem_idx = np.indices((r - 1,) * face_dim)
     for a, off in enumerate(offsets):
-        contrib = np.einsum("g,g...->...",
-                            rule.weights * values[:, a], h_gauss) * det_j
+        contrib = B.einsum("g,g...->...",
+                           rule.weights * values[:, a], h_gauss) * det_j
         target = tuple(elem_idx[k] + off[k] for k in range(face_dim))
-        np.add.at(load, target, contrib)
+        B.scatter_add(load, target, contrib)
     return load
 
 

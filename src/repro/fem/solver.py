@@ -13,6 +13,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..backend import ops as B
+
 from .assembly import assemble_load, assemble_stiffness
 from .grid import UniformGrid
 from .quadrature import GaussRule
@@ -123,7 +125,7 @@ class FEMSolver:
             iters = 1
         elif method == "cg":
             diag = k_ii.diagonal()
-            if np.any(diag <= 0):
+            if B.any(diag <= 0):
                 raise RuntimeError("non-positive diagonal; K not SPD?")
             m_inv = sp.diags(1.0 / diag)
             iters = 0
@@ -140,8 +142,8 @@ class FEMSolver:
             raise ValueError(f"unknown method {method!r}")
 
         u[interior] += x
-        res = float(np.linalg.norm(rhs_i - k_ii @ x) /
-                    max(np.linalg.norm(rhs_i), 1e-30))
+        res = float(B.norm(rhs_i - k_ii @ x) /
+                    max(B.norm(rhs_i), 1e-30))
         self.last_report = SolveReport(method=method, iterations=iters,
                                        residual=res, n_dofs=n_int)
         return u.reshape(grid.shape)

@@ -11,17 +11,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ops as B
+
 __all__ = ["prolong_nested", "restrict_nested"]
 
 
 def _prolong_axis(arr: np.ndarray, axis: int) -> np.ndarray:
     """Linear interpolation along one axis: n -> 2n-1 points."""
-    arr = np.moveaxis(arr, axis, 0)
+    arr = B.moveaxis(arr, axis, 0)
     n = arr.shape[0]
     out = np.zeros((2 * n - 1,) + arr.shape[1:], dtype=arr.dtype)
     out[::2] = arr
     out[1::2] = 0.5 * (arr[:-1] + arr[1:])
-    return np.moveaxis(out, 0, axis)
+    return B.moveaxis(out, 0, axis)
 
 
 def _restrict_axis(arr: np.ndarray, axis: int, normalize: bool) -> np.ndarray:
@@ -34,7 +36,7 @@ def _restrict_axis(arr: np.ndarray, axis: int, normalize: bool) -> np.ndarray:
     the raw adjoint P^T restricts FEM residuals (dual vectors carrying an
     h^d factor).
     """
-    arr = np.moveaxis(arr, axis, 0)
+    arr = B.moveaxis(arr, axis, 0)
     nf = arr.shape[0]
     if nf % 2 == 0:
         raise ValueError(f"fine axis size {nf} must be odd (2^k + 1 grids)")
@@ -47,7 +49,7 @@ def _restrict_axis(arr: np.ndarray, axis: int, normalize: bool) -> np.ndarray:
         weights = np.full((nc,) + (1,) * (arr.ndim - 1), 2.0, dtype=arr.dtype)
         weights[0] = weights[-1] = 1.5
         out /= weights
-    return np.moveaxis(out, 0, axis)
+    return B.moveaxis(out, 0, axis)
 
 
 def prolong_nested(coarse: np.ndarray) -> np.ndarray:

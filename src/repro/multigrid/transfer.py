@@ -12,23 +12,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ops as B
+
 __all__ = ["resample_linear", "restrict_field", "prolong_field"]
 
 
 def _resample_axis(arr: np.ndarray, axis: int, new_size: int) -> np.ndarray:
     """Linear interpolation along one axis from n to new_size points,
     endpoints preserved."""
-    arr = np.moveaxis(arr, axis, 0)
+    arr = B.moveaxis(arr, axis, 0)
     n = arr.shape[0]
     if n == new_size:
-        return np.moveaxis(arr, 0, axis)
+        return B.moveaxis(arr, 0, axis)
     if n < 2:
         raise ValueError("axis must have at least 2 points")
     pos = np.linspace(0.0, n - 1.0, new_size)
-    lo = np.clip(np.floor(pos).astype(int), 0, n - 2)
+    lo = B.clip(B.floor(pos).astype(int), 0, n - 2)
     w = (pos - lo).reshape((-1,) + (1,) * (arr.ndim - 1))
     out = (1.0 - w) * arr[lo] + w * arr[lo + 1]
-    return np.moveaxis(out.astype(arr.dtype), 0, axis)
+    return B.moveaxis(out.astype(arr.dtype), 0, axis)
 
 
 def resample_linear(field: np.ndarray, new_resolution: int,

@@ -8,6 +8,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, conv_nd, conv_transpose_nd, tuplify
+from ..backend.conv_plan import ConvPlan, plan_conv
 from ..utils.seeding import make_rng
 from . import init
 from .module import Module, Parameter
@@ -55,6 +56,18 @@ class ConvNd(Module):
                 f"expected {self.ndim + 2}-d input (N, C, spatial), got {x.ndim}-d")
         return conv_nd(x, self.weight, self.bias,
                        stride=self.stride, padding=self.padding)
+
+    def plan_for(self, x_shape: tuple[int, ...], dtype=None) -> ConvPlan:
+        """The (memoized) execution plan this layer uses for an input shape.
+
+        Exposes the backend conv planner for profiling and tests: the same
+        plan object drives :func:`repro.autograd.conv_nd` at call time.
+        ``dtype`` is the *input* dtype (plans are dtype-sensitive — patch
+        bytes double in float64); defaults to the weight dtype, which is
+        correct whenever inputs and weights share precision.
+        """
+        return plan_conv(x_shape, self.weight.shape, self.stride,
+                         self.padding, dtype or self.weight.dtype)
 
     def __repr__(self) -> str:
         return (f"ConvNd({self.ndim}d, {self.in_channels}->{self.out_channels}, "

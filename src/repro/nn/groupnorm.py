@@ -9,8 +9,12 @@ size — a natural robustness extension for the megavoxel regime.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from ..backend import ops as B
+from ..backend.dtype import get_default_dtype
 from ..autograd import Tensor
 from ..autograd.function import Context, Function
 from .module import Module, Parameter
@@ -29,11 +33,11 @@ class _GroupNormFn(Function):
         axes = tuple(range(2, xg.ndim))
         mean = xg.mean(axis=axes, keepdims=True)
         var = xg.var(axis=axes, keepdims=True)
-        inv_std = 1.0 / np.sqrt(var + eps)
+        inv_std = 1.0 / B.sqrt(var + eps)
         xhat = ((xg - mean) * inv_std).reshape(x.shape)
         gshape = (1, c) + (1,) * len(spatial)
         out = gamma.reshape(gshape) * xhat + beta.reshape(gshape)
-        m = int(np.prod(xg.shape[2:]))
+        m = math.prod(xg.shape[2:])
         ctx.meta.update(xhat=xhat, inv_std=inv_std, g=g, m=m,
                         gamma=gamma, gshape=gshape, x_shape=x.shape)
         return out
@@ -83,8 +87,9 @@ class GroupNorm(Module):
         self.num_groups = num_groups
         self.num_channels = num_channels
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_channels, dtype=np.float32))
-        self.beta = Parameter(np.zeros(num_channels, dtype=np.float32))
+        dtype = get_default_dtype()
+        self.gamma = Parameter(np.ones(num_channels, dtype=dtype))
+        self.beta = Parameter(np.zeros(num_channels, dtype=dtype))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[1] != self.num_channels:

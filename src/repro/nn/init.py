@@ -10,6 +10,8 @@ import math
 
 import numpy as np
 
+from ..backend.dtype import get_default_dtype
+
 __all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros", "calculate_fan"]
 
 
@@ -17,7 +19,7 @@ def calculate_fan(shape: tuple[int, ...], mode: str = "fan_in") -> int:
     """Fan-in/out for a conv weight (C_out, C_in, *kernel) or dense (out, in)."""
     if len(shape) < 2:
         raise ValueError("fan requires at least 2 dims")
-    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    receptive = math.prod(shape[2:]) if len(shape) > 2 else 1
     fan_in = shape[1] * receptive
     fan_out = shape[0] * receptive
     return fan_in if mode == "fan_in" else fan_out
@@ -25,8 +27,9 @@ def calculate_fan(shape: tuple[int, ...], mode: str = "fan_in") -> int:
 
 def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator,
                    negative_slope: float = 0.0, mode: str = "fan_in",
-                   dtype=np.float32) -> np.ndarray:
+                   dtype=None) -> np.ndarray:
     """He-normal init: std = gain / sqrt(fan)."""
+    dtype = dtype or get_default_dtype()
     fan = calculate_fan(shape, mode)
     gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
     std = gain / math.sqrt(fan)
@@ -35,7 +38,8 @@ def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator,
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator,
                     negative_slope: float = 0.0, mode: str = "fan_in",
-                    dtype=np.float32) -> np.ndarray:
+                    dtype=None) -> np.ndarray:
+    dtype = dtype or get_default_dtype()
     fan = calculate_fan(shape, mode)
     gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
     bound = gain * math.sqrt(3.0 / fan)
@@ -43,12 +47,13 @@ def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator,
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
-                   dtype=np.float32) -> np.ndarray:
+                   dtype=None) -> np.ndarray:
+    dtype = dtype or get_default_dtype()
     fan_in = calculate_fan(shape, "fan_in")
     fan_out = calculate_fan(shape, "fan_out")
     bound = math.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-bound, bound, size=shape).astype(dtype)
 
 
-def zeros(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
-    return np.zeros(shape, dtype=dtype)
+def zeros(shape: tuple[int, ...], dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype or get_default_dtype())

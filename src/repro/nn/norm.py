@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, batch_norm
+from ..backend.dtype import get_default_dtype
 from .module import Module, Parameter
 from . import init
 
@@ -25,10 +26,11 @@ class BatchNorm(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        dtype = get_default_dtype()
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype))
         self.beta = Parameter(init.zeros((num_features,)))
-        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
-        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=dtype))
         self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
 
     def forward(self, x: Tensor) -> Tensor:
@@ -41,15 +43,16 @@ class BatchNorm(Module):
             batch_mean = x.data.mean(axis=axes)
             batch_var = x.data.var(axis=axes)
             m = self.momentum
+            stat_dtype = np.asarray(self.running_mean).dtype
             self.update_buffer(
                 "running_mean",
-                ((1 - m) * self.running_mean + m * batch_mean).astype(np.float32))
+                ((1 - m) * self.running_mean + m * batch_mean).astype(stat_dtype))
             # Unbiased variance for the running estimate (torch convention).
             n = x.data.size // x.shape[1]
             unbiased = batch_var * (n / max(n - 1, 1))
             self.update_buffer(
                 "running_var",
-                ((1 - m) * self.running_var + m * unbiased).astype(np.float32))
+                ((1 - m) * self.running_var + m * unbiased).astype(stat_dtype))
             self.update_buffer("num_batches_tracked",
                                self.num_batches_tracked + 1)
             return batch_norm(x, self.gamma, self.beta, training=True, eps=self.eps)
