@@ -1,0 +1,138 @@
+"""SERVE — batched serving throughput vs sequential single-request inference.
+
+The serving subsystem's claim (ROADMAP north star, paper Sec. 4.3) is
+that dynamic micro-batching amortizes per-forward overhead: B coalesced
+requests in one fused (B, 1, *grid) forward beat B one-at-a-time
+forwards.  This benchmark measures QPS and latency percentiles across a
+``max_batch`` sweep against the sequential baseline and records the best
+batched speedup; ``--json`` writes ``BENCH_serve_throughput.json`` for
+CI (uploaded next to the fig2 artifact).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.data.sobol import sample_omega
+from repro.serve import ModelRegistry, PredictionServer, ServerConfig
+
+try:
+    from .common import bench_cli, report
+except ImportError:  # standalone execution
+    from common import bench_cli, report
+
+RESOLUTION = 16
+BASE_FILTERS = 8
+DEPTH = 3          # the paper's U-Net depth: deep enough that per-call
+                   # dispatch overhead dominates a single-sample forward
+N_REQUESTS = 128
+BATCH_SIZES = (1, 2, 4, 8, 16, 32)
+MAX_WAIT_MS = 30.0
+
+
+def _make_registry() -> ModelRegistry:
+    problem = PoissonProblem2D(RESOLUTION)
+    model = MGDiffNet(ndim=2, base_filters=BASE_FILTERS, depth=DEPTH, rng=42)
+    registry = ModelRegistry()
+    registry.register_model("bench", model, problem)
+    return registry
+
+
+def _measure(registry: ModelRegistry, max_batch: int, n_requests: int,
+             sequential: bool = False) -> dict:
+    """One throughput run; cache disabled so every request computes."""
+    omegas = sample_omega(n_requests, 4)
+    server = PredictionServer(registry, ServerConfig(
+        max_batch=max_batch, max_wait_ms=MAX_WAIT_MS, workers=1,
+        cache_bytes=0))
+    server.predict("bench", omegas[0])  # warm planner/pool caches
+    t0 = time.perf_counter()
+    if sequential:
+        for w in omegas:
+            server.predict("bench", w)
+    else:
+        with server:
+            futures = [server.submit("bench", w) for w in omegas]
+            for f in futures:
+                f.result()
+    wall = time.perf_counter() - t0
+    s = server.stats
+    return {"max_batch": max_batch,
+            "mode": "sequential" if sequential else "batched",
+            "qps": n_requests / wall,
+            "p50_ms": s.p50 * 1e3,
+            "p99_ms": s.p99 * 1e3,
+            "mean_batch": s.mean_batch_size,
+            "wall_s": wall}
+
+
+def _run(n_requests: int = N_REQUESTS,
+         batch_sizes: tuple[int, ...] = BATCH_SIZES) -> list[dict]:
+    registry = _make_registry()
+    rows = [_measure(registry, 1, n_requests, sequential=True)]
+    for mb in batch_sizes:
+        if mb == 1:
+            continue
+        rows.append(_measure(registry, mb, n_requests))
+    return rows
+
+
+def _rows_for_report(rows: list[dict]) -> list[list]:
+    base = rows[0]["qps"]
+    return [[r["mode"], r["max_batch"], round(r["qps"], 1),
+             round(r["qps"] / base, 2), round(r["mean_batch"], 2),
+             round(r["p50_ms"], 2), round(r["p99_ms"], 2)] for r in rows]
+
+
+def test_serve_throughput(benchmark):
+    # Downscaled for tier-1 wall time; the shape under test is that
+    # coalescing beats one-at-a-time serving at all.
+    rows = benchmark.pedantic(
+        lambda: _run(n_requests=48, batch_sizes=(1, 8)),
+        rounds=1, iterations=1)
+    report("serve_throughput",
+           ["mode", "max_batch", "qps", "speedup", "mean_batch",
+            "p50_ms", "p99_ms"], _rows_for_report(rows))
+    sequential, batched = rows[0], rows[-1]
+    assert batched["mean_batch"] > 1.5, "requests were not coalesced"
+    assert batched["qps"] > 1.2 * sequential["qps"], (
+        f"batched {batched['qps']:.0f} QPS not faster than sequential "
+        f"{sequential['qps']:.0f} QPS")
+
+
+if __name__ == "__main__":
+    args = bench_cli(
+        "bench_serve_throughput",
+        extra_args=lambda p: p.add_argument(
+            "--json", default=None, metavar="PATH",
+            help="also write the rows as a JSON artifact (used by CI)"))
+    rows = _run()
+    report("serve_throughput",
+           ["mode", "max_batch", "qps", "speedup", "mean_batch",
+            "p50_ms", "p99_ms"], _rows_for_report(rows))
+    base = rows[0]["qps"]
+    best = max(rows[1:], key=lambda r: r["qps"])
+    print(f"best batched: max_batch={best['max_batch']} "
+          f"{best['qps']:.1f} QPS = {best['qps'] / base:.2f}x sequential")
+    if args.json:
+        import json
+        from pathlib import Path
+
+        from repro.backend import get_backend, get_default_dtype
+        import numpy as _np
+
+        payload = {
+            "backend": get_backend().name,
+            "dtype": _np.dtype(get_default_dtype()).name,
+            "resolution": RESOLUTION,
+            "base_filters": BASE_FILTERS,
+            "depth": DEPTH,
+            "n_requests": N_REQUESTS,
+            "sequential_qps": base,
+            "best_batched_qps": best["qps"],
+            "speedup_best": best["qps"] / base,
+            "rows": rows,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json}")

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from .function import Function
 
-__all__ = ["OpStats", "Profile", "profile"]
+__all__ = ["OpStats", "PoolReport", "Profile", "profile"]
 
 
 @dataclass
@@ -30,11 +30,39 @@ class OpStats:
 
 
 @dataclass
+class PoolReport:
+    """Buffer-pool activity observed during one profiling session.
+
+    Deltas of the active backend's :class:`repro.backend.PoolStats`
+    between ``__enter__`` and ``__exit__`` — plus the pool's (cumulative)
+    high-water mark, the number to size ``max_bytes`` from.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_recycled: int = 0
+    high_water_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def line(self) -> str:
+        return (f"buffer pool: {self.hits} hits / {self.misses} misses "
+                f"({100 * self.hit_rate:.0f}%), "
+                f"{self.bytes_recycled >> 20} MiB recycled, "
+                f"high water {self.high_water_bytes >> 20} MiB")
+
+
+@dataclass
 class Profile:
     """Result of a profiling session."""
 
     forward: dict[str, OpStats] = field(default_factory=dict)
     backward: dict[str, OpStats] = field(default_factory=dict)
+    pool: PoolReport | None = None
 
     def total_seconds(self) -> float:
         return (sum(s.seconds for s in self.forward.values())
@@ -54,6 +82,8 @@ class Profile:
         for name, s in rows:
             lines.append(f"{name:<28}{s.calls:>8}{s.seconds:>10.4f}"
                          f"{s.ms_per_call:>10.3f}{100 * s.seconds / total:>6.1f}%")
+        if self.pool is not None:
+            lines.append(self.pool.line())
         return "\n".join(lines)
 
 
@@ -68,7 +98,10 @@ class profile:
     """
 
     def __enter__(self) -> Profile:
+        from ..backend import get_pool
+
         self.result = Profile()
+        self._pool_before = get_pool().stats.snapshot()
         self._orig_apply = Function.apply.__func__
 
         profiler = self.result
@@ -105,4 +138,13 @@ class profile:
         return self.result
 
     def __exit__(self, *exc) -> None:
+        from ..backend import get_pool
+
         Function.apply = classmethod(self._orig_apply)
+        after, before = get_pool().stats, self._pool_before
+        self.result.pool = PoolReport(
+            hits=after.hits - before.hits,
+            misses=after.misses - before.misses,
+            evictions=after.evictions - before.evictions,
+            bytes_recycled=after.bytes_recycled - before.bytes_recycled,
+            high_water_bytes=after.high_water_bytes)

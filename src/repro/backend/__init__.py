@@ -23,13 +23,18 @@ from .registry import (
     register_backend, available_backends, set_backend, get_backend,
     use_backend, ops,
 )
+from .threaded import ThreadedBackend
+
+# Lazily constructed so importing repro.backend never spins up a pool;
+# the executor itself is created on first threaded contraction.
+register_backend("threaded", ThreadedBackend)
 from .conv_plan import (
     ConvSignature, ConvPlan, plan_conv, clear_plan_cache, plan_cache_info,
     set_conv_plan_mode, get_conv_plan_mode,
 )
 
 __all__ = [
-    "ArrayBackend", "BackendOpError", "NumpyBackend",
+    "ArrayBackend", "BackendOpError", "NumpyBackend", "ThreadedBackend",
     "BufferPool", "PoolStats", "get_pool",
     "get_default_dtype", "set_default_dtype", "dtype_scope",
     "register_backend", "available_backends", "set_backend", "get_backend",

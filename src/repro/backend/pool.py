@@ -32,18 +32,30 @@ __all__ = ["BufferPool", "PoolStats"]
 
 @dataclass
 class PoolStats:
-    """Cumulative accounting of one :class:`BufferPool`."""
+    """Cumulative accounting of one :class:`BufferPool`.
+
+    ``bytes_recycled`` totals the bytes of every pool hit (allocation
+    traffic the pool absorbed); ``high_water_bytes`` is the largest
+    ``bytes_pooled`` ever parked — the number to size ``max_bytes``
+    from.  Both are surfaced by the autograd profiler report.
+    """
 
     hits: int = 0
     misses: int = 0
     releases: int = 0
     evictions: int = 0
     bytes_pooled: int = 0
+    bytes_recycled: int = 0
+    high_water_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "PoolStats":
+        """Point-in-time copy (for delta accounting across a region)."""
+        return PoolStats(**vars(self))
 
 
 class BufferPool:
@@ -80,6 +92,7 @@ class BufferPool:
                 if bucket:
                     arr = bucket.pop()
                     self.stats.hits += 1
+                    self.stats.bytes_recycled += arr.nbytes
                     self.stats.bytes_pooled -= arr.nbytes
                     return arr
                 self.stats.misses += 1
@@ -109,6 +122,8 @@ class BufferPool:
                 return
             self._free.setdefault(self._key(arr.shape, arr.dtype), []).append(arr)
             self.stats.bytes_pooled += arr.nbytes
+            self.stats.high_water_bytes = max(self.stats.high_water_bytes,
+                                              self.stats.bytes_pooled)
 
     def clear(self) -> None:
         """Drop every pooled buffer (stats are kept)."""

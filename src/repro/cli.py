@@ -10,7 +10,13 @@ Subcommands
     checkpoint whose metadata records the architecture.
 ``predict``
     Load a checkpoint, run inference for an omega, optionally compare
-    against FEM and export fields.
+    against FEM and export fields.  ``--tile``/``--halo`` switch to the
+    tiled megavoxel path (exact, bounded memory).
+``serve``
+    Load checkpoints into a :class:`repro.serve.ModelRegistry` and run
+    the batching/caching prediction server against a request load
+    (Sobol-sampled by default, or ω vectors from a file), printing
+    QPS, latency percentiles and cache statistics.
 ``scaling``
     Print a strong-scaling table from the performance model (Figs 9/10).
 ``info``
@@ -73,6 +79,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override inference resolution")
     p.add_argument("--compare-fem", action="store_true")
     p.add_argument("--output", default=None, help=".vti output path")
+    p.add_argument("--tile", type=int, default=None,
+                   help="tiled inference with this core tile size "
+                        "(multiple of 2**depth)")
+    p.add_argument("--halo", type=int, default=None,
+                   help="halo width for --tile (default: receptive field)")
+
+    p = sub.add_parser("serve", help="batching/caching prediction server")
+    p.add_argument("--checkpoint", action="append", required=True,
+                   metavar="[NAME=]PATH",
+                   help="checkpoint to serve; repeatable, optionally named")
+    p.add_argument("--requests", type=int, default=64,
+                   help="synthetic Sobol request count")
+    p.add_argument("--omega-file", default=None,
+                   help="CSV of ω rows to request instead of Sobol samples")
+    p.add_argument("--resolution", type=int, default=None,
+                   help="override serving resolution")
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-mb", type=int, default=64)
+    p.add_argument("--backend", default=None,
+                   help="array backend workers pin (e.g. 'threaded')")
+    p.add_argument("--tile", type=int, default=None,
+                   help="force tiled forwards with this core tile size")
+    p.add_argument("--tile-threshold", type=int, default=2 ** 21,
+                   help="voxel count above which forwards are tiled")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="replay the request set (>1 exercises the cache)")
 
     p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
     p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
@@ -151,32 +185,100 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    from .core.checkpoint import load_checkpoint
     from .core.metrics import compare_fields
-    from .core.mgdiffnet import MGDiffNet
-    from .core.problem import PoissonProblem
+    from .serve import ModelRegistry, RegistryError, tiled_predict
 
-    # Peek at the metadata to reconstruct the architecture.
-    with np.load(args.checkpoint) as data:
-        meta = {k.split("::", 1)[1]: data[k].item()
-                for k in data.files if k.startswith("meta::")}
-    model = MGDiffNet(ndim=int(meta["ndim"]),
-                      base_filters=int(meta["base_filters"]),
-                      depth=int(meta["depth"]), rng=0)
-    load_checkpoint(args.checkpoint, model)
-    resolution = args.resolution or int(meta["resolution"])
-    problem = PoissonProblem(int(meta["ndim"]), resolution)
-    u = model.predict(problem, args.omega)
-    print(f"predicted field at {resolution}^{meta['ndim']}: "
+    registry = ModelRegistry()
+    try:
+        entry = registry.load("model", args.checkpoint, validate=False)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    model, problem = entry.model, entry.problem
+    resolution = args.resolution or problem.resolution
+    try:
+        if args.tile is not None or args.halo is not None:
+            u = tiled_predict(model, problem, args.omega,
+                              resolution=resolution,
+                              tile=args.tile, halo=args.halo)[0]
+        else:
+            u = model.predict(problem, args.omega, resolution=resolution)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"predicted field at {resolution}^{problem.ndim}: "
           f"range [{u.min():.4f}, {u.max():.4f}]")
     if args.compare_fem:
-        ref = problem.fem_solve(args.omega)
+        ref = problem.fem_solve(args.omega, resolution=resolution)
         print(f"vs FEM: {compare_fields(u, ref)}")
     if args.output:
         from .utils.vtk import write_vti
 
-        path = write_vti(args.output, {"u": u}, spacing=problem.grid().h)
+        path = write_vti(args.output, {"u": u},
+                         spacing=problem.grid(resolution).h)
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from .data.sobol import sample_omega
+    from .serve import (
+        ModelRegistry, PredictionServer, RegistryError, ServerConfig,
+    )
+
+    registry = ModelRegistry()
+    try:
+        for spec in args.checkpoint:
+            name, _, path = spec.rpartition("=")
+            entry = registry.load(name or "model", path or spec)
+            print(f"loaded {entry}")
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    config = ServerConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        workers=args.workers, cache_bytes=args.cache_mb * 1024 * 1024,
+        backend=args.backend, tile=args.tile,
+        tile_threshold_voxels=args.tile_threshold)
+    server = PredictionServer(registry, config)
+
+    names = registry.names()
+    loads: dict[str, np.ndarray] = {}
+    for name in names:
+        entry = registry.get(name)
+        if args.omega_file:
+            omegas = np.atleast_2d(np.loadtxt(args.omega_file, delimiter=","))
+        else:
+            omegas = sample_omega(args.requests, entry.problem.field.m,
+                                  omega_range=entry.problem.omega_range)
+        loads[name] = omegas
+
+    t0 = time.perf_counter()
+    try:
+        with server:
+            for _ in range(max(1, args.repeat)):
+                futures = [(name, server.submit(name, w, args.resolution))
+                           for name in names for w in loads[name]]
+                for _, f in futures:
+                    f.result()
+    except ValueError as exc:
+        # Bad request parameters (ω arity, tile/halo alignment, ...).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    wall = time.perf_counter() - t0
+
+    s, c = server.stats, server.cache.stats
+    print(f"served {s.requests} requests in {wall:.3f}s "
+          f"({s.requests / wall:.1f} QPS) with {config.workers} worker(s)")
+    print(f"latency p50 {s.p50 * 1e3:.2f} ms, p99 {s.p99 * 1e3:.2f} ms; "
+          f"{s.batches} batches, mean size {s.mean_batch_size:.2f}, "
+          f"{s.tiled_forwards} tiled forwards")
+    print(f"cache: {c.hits} hits / {c.misses} misses "
+          f"({100 * c.hit_rate:.0f}%), {c.bytes_cached >> 20} MiB resident, "
+          f"{c.evictions} evictions")
     return 0
 
 
@@ -217,6 +319,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "train": _cmd_train,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
     "scaling": _cmd_scaling,
     "info": _cmd_info,
 }

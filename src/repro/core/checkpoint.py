@@ -14,11 +14,50 @@ import numpy as np
 
 from ..optim.optimizer import Optimizer
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
 
 _PREFIX_PARAM = "model::"
 _PREFIX_OPT = "opt::"
 _PREFIX_META = "meta::"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint does not match the model it is being loaded into.
+
+    Raised with the offending parameter/buffer *keys* spelled out (and
+    the checkpoint path) instead of letting a bare NumPy broadcast error
+    escape from deep inside ``load_state_dict``.
+    """
+
+
+def _validate_model_state(path: Path, model,
+                          state: dict[str, np.ndarray]) -> None:
+    """Check checkpoint keys and shapes against the model before loading."""
+    expected: dict[str, tuple[int, ...]] = {}
+    for name, p in model.named_parameters():
+        expected[name] = tuple(p.data.shape)
+    for name, b in model.named_buffers():
+        expected[f"buffer:{name}"] = tuple(np.asarray(b).shape)
+
+    missing = sorted(set(expected) - set(state))
+    unexpected = sorted(set(state) - set(expected))
+    mismatched = sorted(
+        f"{k}: checkpoint {tuple(state[k].shape)} vs model {expected[k]}"
+        for k in set(expected) & set(state)
+        if tuple(state[k].shape) != expected[k])
+    if missing or unexpected or mismatched:
+        problems = []
+        if mismatched:
+            problems.append("shape mismatch [" + "; ".join(mismatched) + "]")
+        if missing:
+            problems.append("missing keys " + repr(missing))
+        if unexpected:
+            problems.append("unexpected keys " + repr(unexpected))
+        raise CheckpointError(
+            f"checkpoint {path} does not fit the model: "
+            + "; ".join(problems)
+            + " — was it saved from a different architecture "
+            "(base_filters/depth/ndim) or after adaptation?")
 
 
 def save_checkpoint(path: str | Path, model, optimizer: Optimizer | None = None,
@@ -48,12 +87,14 @@ def load_checkpoint(path: str | Path, model, optimizer: Optimizer | None = None
 
     Returns the metadata dict (always contains ``epoch``).  The model must
     have the same architecture as at save time; the optimizer must hold
-    the same parameters in the same order.
+    the same parameters in the same order.  A mismatch raises
+    :class:`CheckpointError` naming every offending key.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
         model_state = {k[len(_PREFIX_PARAM):]: data[k]
                        for k in data.files if k.startswith(_PREFIX_PARAM)}
+        _validate_model_state(path, model, model_state)
         model.load_state_dict(model_state)
 
         if optimizer is not None:

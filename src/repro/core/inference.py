@@ -12,7 +12,8 @@ from ..fem.solver import FEMSolver
 from .mgdiffnet import MGDiffNet
 from .problem import PoissonProblem
 
-__all__ = ["InferenceTiming", "time_inference_vs_fem", "predict_batch"]
+__all__ = ["InferenceTiming", "time_inference_vs_fem", "predict_batch",
+           "prepare_batch_inputs", "apply_bc_masks"]
 
 
 @dataclass(frozen=True)
@@ -28,15 +29,41 @@ class InferenceTiming:
         return self.fem_seconds / max(self.inference_seconds, 1e-12)
 
 
-def predict_batch(model: MGDiffNet, problem: PoissonProblem,
-                  omegas: np.ndarray,
-                  resolution: int | None = None) -> np.ndarray:
-    """Full-field predictions for a batch of ω, shape (B, *grid.shape)."""
+def prepare_batch_inputs(problem: PoissonProblem, omegas: np.ndarray,
+                         resolution: int | None = None
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Network input batch and BC masks for full-field inference.
+
+    The single source of the inference input transform — shared by the
+    one-shot path below and the tiled megavoxel path in
+    :mod:`repro.serve.tiling`, so the two can never diverge.  Returns
+    ``(log_nu, chi_int, u_bc)`` with ``log_nu`` of shape (B, 1, *grid).
+    """
     r = resolution or problem.resolution
     grid = problem.grid(r)
     omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
     log_nu = problem.field.log_nu(omegas, grid)[:, None].astype(np.float32)
     chi_int, u_bc = problem.masks(r)
+    return log_nu, chi_int, u_bc
+
+
+def apply_bc_masks(u_net: np.ndarray, chi_int: np.ndarray,
+                   u_bc: np.ndarray) -> np.ndarray:
+    """Dirichlet masking epilogue (Algorithm 1 line 8), NumPy flavour.
+
+    Mirrors the Tensor expression inside :meth:`MGDiffNet.forward`; used
+    by inference paths that run the bare network (e.g. per tile) and
+    impose the boundary data afterwards.  Returns shape (B, *grid).
+    """
+    u = u_net * chi_int.astype(u_net.dtype) + u_bc.astype(u_net.dtype)
+    return u[:, 0].copy()
+
+
+def predict_batch(model: MGDiffNet, problem: PoissonProblem,
+                  omegas: np.ndarray,
+                  resolution: int | None = None) -> np.ndarray:
+    """Full-field predictions for a batch of ω, shape (B, *grid.shape)."""
+    log_nu, chi_int, u_bc = prepare_batch_inputs(problem, omegas, resolution)
     was_training = model.training
     model.eval()
     try:

@@ -24,7 +24,8 @@ from ..autograd import Tensor, no_grad
 from ..nn.conv import ConvNd
 
 __all__ = ["HaloStats", "split_slabs", "join_slabs", "halo_exchange",
-           "model_parallel_conv", "ModelParallelConvStack"]
+           "extract_padded_block", "model_parallel_conv",
+           "ModelParallelConvStack"]
 
 
 @dataclass
@@ -57,6 +58,40 @@ def join_slabs(slabs: list[np.ndarray], axis: int = 2) -> np.ndarray:
     return B.concatenate(slabs, axis=axis)
 
 
+def _zero_halo(like: np.ndarray, axis: int, halo: int) -> np.ndarray:
+    """Zero-filled halo slab matching ``like`` except along ``axis``."""
+    shape = list(like.shape)
+    shape[axis] = halo
+    return np.zeros(shape, dtype=like.dtype)
+
+
+def extract_padded_block(x: np.ndarray, axis: int, start: int, stop: int,
+                         halo: int) -> tuple[np.ndarray, int]:
+    """Slice ``x[..., start:stop, ...]`` along ``axis`` with up to ``halo``
+    extra layers of neighbouring data on each side.
+
+    This generalizes :func:`halo_exchange`'s boundary convention from
+    equal slabs to arbitrary blocks: where a neighbour exists the halo is
+    real data, and at the domain boundary the block is simply *cropped*
+    (no zero fill), so a 'same' convolution applied to the block pads the
+    physical boundary exactly like the full-field computation does.  This
+    is the primitive of the tiled inference path in :mod:`repro.serve`.
+
+    Returns ``(block, core_offset)`` where ``core_offset`` is the index of
+    ``start`` inside the returned block along ``axis``.
+    """
+    size = x.shape[axis]
+    if not (0 <= start < stop <= size):
+        raise ValueError(f"block [{start}, {stop}) outside axis of size {size}")
+    if halo < 0:
+        raise ValueError("halo must be >= 0")
+    lo = max(start - halo, 0)
+    hi = min(stop + halo, size)
+    index = [slice(None)] * x.ndim
+    index[axis] = slice(lo, hi)
+    return x[tuple(index)], start - lo
+
+
 def halo_exchange(slabs: list[np.ndarray], halo: int, axis: int = 2,
                   stats: HaloStats | None = None) -> list[np.ndarray]:
     """Pad each slab with ``halo`` layers from its neighbours.
@@ -80,18 +115,14 @@ def halo_exchange(slabs: list[np.ndarray], halo: int, axis: int = 2,
                                  slabs[r - 1].shape[axis]), axis=axis)
             sent.append(left)
         else:
-            shape = list(s.shape)
-            shape[axis] = halo
-            left = np.zeros(shape, dtype=s.dtype)
+            left = _zero_halo(s, axis, halo)
         pieces.append(left)
         pieces.append(s)
         if r < p - 1:
             right = B.take(slabs[r + 1], range(halo), axis=axis)
             sent.append(right)
         else:
-            shape = list(s.shape)
-            shape[axis] = halo
-            right = np.zeros(shape, dtype=s.dtype)
+            right = _zero_halo(s, axis, halo)
         pieces.append(right)
         padded.append(B.concatenate(pieces, axis=axis))
     if stats is not None:

@@ -1,0 +1,42 @@
+"""repro.serve — batching, caching inference serving at megavoxel scale.
+
+The paper's economic argument (Sec. 4.3) is that one trained MGDiffNet
+amortizes over many ω queries, each orders of magnitude cheaper than a
+FEM solve.  This package is the infrastructure realizing that claim:
+
+* :class:`ModelRegistry` — named, versioned, validated checkpoint
+  entries (``load``/``register_model``/``get``);
+* :class:`PredictionServer` — request queue, dynamic micro-batching,
+  size-bounded LRU result cache, sync and worker-thread front-ends;
+* :func:`tiled_predict` — exact full-field inference on grids too large
+  for one forward pass, via ``2**depth``-aligned halo-padded tiles.
+
+Quickstart::
+
+    from repro.serve import ModelRegistry, PredictionServer, ServerConfig
+
+    registry = ModelRegistry()
+    registry.load("poisson2d", "checkpoints/model.npz")
+    server = PredictionServer(registry, ServerConfig(max_batch=8))
+    with server:                       # worker-thread front-end
+        future = server.submit("poisson2d", omega)
+        u = future.result()
+    u = server.predict("poisson2d", omega)   # sync front-end, cached
+"""
+
+from .batching import MicroBatcher, PredictRequest
+from .cache import CacheStats, LRUCache, quantize_omega, result_key
+from .registry import ModelEntry, ModelRegistry, RegistryError
+from .server import PredictionServer, ServerConfig, ServerStats
+from .tiling import (
+    TilePlan, plan_tiles, receptive_halo, tiled_forward, tiled_predict,
+)
+
+__all__ = [
+    "MicroBatcher", "PredictRequest",
+    "CacheStats", "LRUCache", "quantize_omega", "result_key",
+    "ModelEntry", "ModelRegistry", "RegistryError",
+    "PredictionServer", "ServerConfig", "ServerStats",
+    "TilePlan", "plan_tiles", "receptive_halo", "tiled_forward",
+    "tiled_predict",
+]

@@ -1,0 +1,109 @@
+"""Dynamic micro-batching: coalesce queued requests into fused forwards.
+
+A single ω query is a (1, 1, *grid) forward; the GEMMs inside are far
+from their throughput regime.  Batching B compatible requests into one
+(B, 1, *grid) forward amortizes planning, im2col and Python dispatch —
+the classic dynamic-batching trade of a little latency (bounded by
+``max_wait_ms``) for a lot of throughput.
+
+The batcher is policy only: it owns no threads.  A server worker calls
+``collect`` to drain one micro-batch and then groups it into fusable
+runs (same model version and resolution) with ``group_compatible`` —
+coalescing never changes results because eval-mode inference is
+per-sample independent (verified by the determinism tests).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["PredictRequest", "MicroBatcher"]
+
+
+@dataclass
+class PredictRequest:
+    """One queued prediction request."""
+
+    model_name: str
+    omega: np.ndarray
+    resolution: int
+    future: Any  # concurrent.futures.Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    def group_key(self) -> tuple:
+        """Requests sharing this key may run in one fused forward."""
+        return (self.model_name, self.resolution)
+
+
+class MicroBatcher:
+    """Coalescing policy over a :class:`queue.Queue` of requests.
+
+    Parameters
+    ----------
+    max_batch:
+        Upper bound on requests fused into one forward.
+    max_wait_ms:
+        How long to hold the *first* request of a batch while waiting for
+        companions.  0 disables coalescing (every request runs alone).
+    """
+
+    def __init__(self, max_batch: int = 8, max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+
+    def collect(self, source: "queue.Queue[PredictRequest]",
+                stop: threading.Event | None = None,
+                poll_s: float = 0.05) -> list[PredictRequest]:
+        """Block for the next request, then drain companions.
+
+        Returns ``[]`` only when ``stop`` is set and the queue is empty —
+        the worker's signal to exit.
+        """
+        first: PredictRequest | None = None
+        while first is None:
+            try:
+                first = source.get(timeout=poll_s)
+            except queue.Empty:
+                if stop is not None and stop.is_set():
+                    return []
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                # Deadline passed: take whatever is already queued, but
+                # do not wait for more.
+                try:
+                    batch.append(source.get_nowait())
+                    continue
+                except queue.Empty:
+                    break
+            try:
+                batch.append(source.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    @staticmethod
+    def group_compatible(batch: list[PredictRequest]
+                         ) -> list[list[PredictRequest]]:
+        """Split a drained batch into fusable runs, preserving order."""
+        groups: dict[tuple, list[PredictRequest]] = {}
+        order: list[tuple] = []
+        for req in batch:
+            key = req.group_key()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(req)
+        return [groups[k] for k in order]

@@ -1,0 +1,307 @@
+"""The prediction server: request queue, worker pool, cache and tiling.
+
+This is the subsystem that turns a trained MGDiffNet checkpoint into a
+service (the paper's Sec. 4.3 payoff: amortize one expensive training
+run over many cheap ω queries).  A request flows:
+
+    submit(model, ω) ── cache hit? ──> resolved future (no queue)
+           │ miss
+           ▼
+      request queue ──> worker: micro-batch + group ──> fused forward
+                                                    │   (tiled when the
+                                                    │    grid is huge)
+                                                    ▼
+                                          cache fill + future results
+
+Front-ends:
+
+* **sync** — ``predict``/``predict_many`` on an unstarted server run the
+  same path inline (cache, batching math, tiling) on the caller's
+  thread; nothing to start or stop.
+* **worker-thread** — ``start()`` spawns N worker threads; ``submit``
+  returns a ``Future``; ``predict`` on a running server routes through
+  the queue.  Workers pin the configured array backend (the registry's
+  op dispatch is thread-local), so e.g. the threaded backend
+  parallelizes inside a fused forward while workers overlap queue wait
+  with compute.
+
+Later scaling PRs (multi-process sharding, GPU backends, async IO) plug
+in behind this interface without changing callers.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backend import set_backend
+from ..core.inference import predict_batch
+from .batching import MicroBatcher, PredictRequest
+from .cache import LRUCache, result_key
+from .registry import ModelEntry, ModelRegistry
+from .tiling import receptive_halo, tiled_predict
+
+__all__ = ["ServerConfig", "ServerStats", "PredictionServer"]
+
+_LAT_WINDOW = 10_000
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`PredictionServer`."""
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    workers: int = 1
+    cache_bytes: int = 64 * 1024 * 1024
+    omega_step: float = 1e-6          # cache-key quantization lattice
+    tile_threshold_voxels: int = 2 ** 21  # tile forwards above ~2M voxels
+    tile: int | None = None           # set: force tiling at this tile size
+    halo: int | None = None           # None: receptive-field halo
+    backend: str | None = None        # backend workers pin (None: inherit)
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics (latencies in seconds)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    tiled_forwards: int = 0
+    errors: int = 0
+    latencies: list = field(default_factory=list)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+        if len(self.latencies) > _LAT_WINDOW:
+            del self.latencies[:len(self.latencies) - _LAT_WINDOW]
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class PredictionServer:
+    """Batching, caching inference server over a :class:`ModelRegistry`."""
+
+    def __init__(self, registry: ModelRegistry,
+                 config: ServerConfig | None = None) -> None:
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.cache = LRUCache(self.config.cache_bytes)
+        self.stats = ServerStats()
+        self._batcher = MicroBatcher(self.config.max_batch,
+                                     self.config.max_wait_ms)
+        self._queue: "queue.Queue[PredictRequest]" = queue.Queue()
+        self._stop = threading.Event()
+        self._workers: list[threading.Thread] = []
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return bool(self._workers)
+
+    def start(self) -> "PredictionServer":
+        """Spawn the worker-thread pool (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        for i in range(max(1, self.config.workers)):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"repro-serve-{i}", daemon=True)
+            t.start()
+            self._workers.append(t)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` pending requests finish first."""
+        if not self.running:
+            return
+        if drain:
+            self._queue.join()
+        self._stop.set()
+        for t in self._workers:
+            t.join()
+        self._workers.clear()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Front-ends
+    # ------------------------------------------------------------------ #
+    def submit(self, model_name: str, omega: np.ndarray,
+               resolution: int | None = None) -> Future:
+        """Queue one prediction; returns a Future of the (full-field)
+        NumPy array.  Cache hits resolve immediately without queueing.
+
+        Served fields are read-only (hits and misses alike — they may be
+        shared with the cache); copy before mutating."""
+        entry = self.registry.get(model_name)
+        r = int(resolution or entry.problem.resolution)
+        omega = np.asarray(omega, dtype=np.float64).reshape(-1)
+        if omega.size != entry.problem.field.m:
+            # Reject here: a wrong-arity ω must never reach a worker,
+            # where it would poison the fused np.stack of its whole group.
+            raise ValueError(
+                f"model {model_name!r} expects omega of length "
+                f"{entry.problem.field.m}, got {omega.size}")
+        t0 = time.perf_counter()
+
+        future: Future = Future()
+        key = self._key(entry, omega, r)
+        cached = self.cache.get(key)
+        with self._stats_lock:
+            self.stats.requests += 1
+        if cached is not None:
+            with self._stats_lock:
+                self.stats.cache_hits += 1
+                self.stats.observe_latency(time.perf_counter() - t0)
+            future.set_result(cached)
+            return future
+
+        request = PredictRequest(model_name=model_name, omega=omega,
+                                 resolution=r, future=future)
+        if self.running:
+            self._queue.put(request)
+        else:
+            # Sync front-end: same path, caller's thread.
+            self._process_group(entry, [request])
+        return future
+
+    def predict(self, model_name: str, omega: np.ndarray,
+                resolution: int | None = None,
+                timeout: float | None = None) -> np.ndarray:
+        """Blocking single prediction (sync front-end)."""
+        return self.submit(model_name, omega, resolution).result(timeout)
+
+    def predict_many(self, model_name: str, omegas: np.ndarray,
+                     resolution: int | None = None,
+                     timeout: float | None = None) -> np.ndarray:
+        """Submit a batch of ω and gather results, shape (B, *grid)."""
+        omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
+        futures = [self.submit(model_name, w, resolution) for w in omegas]
+        return np.stack([f.result(timeout) for f in futures])
+
+    # ------------------------------------------------------------------ #
+    # Worker internals
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        if self.config.backend is not None:
+            # Backend choice is thread-local; each worker pins its own.
+            set_backend(self.config.backend)
+        while True:
+            batch = self._batcher.collect(self._queue, stop=self._stop)
+            if not batch:
+                return
+            try:
+                for group in MicroBatcher.group_compatible(batch):
+                    try:
+                        entry = self.registry.get(group[0].model_name)
+                    except Exception as exc:
+                        # Model unregistered between submit and dispatch.
+                        with self._stats_lock:
+                            self.stats.errors += len(group)
+                        for req in group:
+                            req.future.set_exception(exc)
+                        continue
+                    self._process_group(entry, group)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _process_group(self, entry: ModelEntry,
+                       group: list[PredictRequest]) -> None:
+        """One fused forward for compatible requests; resolve futures."""
+        r = group[0].resolution
+        try:
+            omegas = np.stack([req.omega for req in group])
+            fields = self._forward(entry, omegas, r)
+        except Exception as exc:
+            with self._stats_lock:
+                self.stats.errors += len(group)
+            for req in group:
+                req.future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.batched_requests += len(group)
+            for req in group:
+                self.stats.observe_latency(now - req.enqueued_at)
+        for req, u in zip(group, fields):
+            stored = self.cache.put(self._key(entry, req.omega, r), u)
+            if stored is None:
+                # Not admitted (cache disabled / oversized field): keep
+                # the served-results-are-immutable contract anyway so
+                # callers behave identically on miss and replay.
+                u.flags.writeable = False
+                stored = u
+            req.future.set_result(stored)
+
+    def _forward(self, entry: ModelEntry, omegas: np.ndarray,
+                 resolution: int) -> np.ndarray:
+        """Fused forward — tiled when the grid exceeds the threshold, or
+        always when an explicit tile size is configured."""
+        voxels = resolution ** entry.problem.ndim
+        if (self.config.tile is not None
+                or voxels > self.config.tile_threshold_voxels):
+            with self._stats_lock:
+                self.stats.tiled_forwards += 1
+            tile, halo = self._tile_params(entry, resolution)
+            return tiled_predict(entry.model, entry.problem, omegas,
+                                 resolution=resolution, tile=tile, halo=halo)
+        return predict_batch(entry.model, entry.problem, omegas,
+                             resolution=resolution)
+
+    def _tile_params(self, entry: ModelEntry,
+                     resolution: int) -> tuple[int, int]:
+        multiple = 2 ** entry.model.net.depth
+        halo = (self.config.halo if self.config.halo is not None
+                else receptive_halo(entry.model))
+        tile = self.config.tile
+        if tile is None:
+            # Aim each tile's core at ~the threshold volume so the padded
+            # forward stays within the same memory envelope.
+            target = max(multiple, int(round(
+                self.config.tile_threshold_voxels
+                ** (1.0 / entry.problem.ndim))))
+            tile = min(resolution, (target // multiple) * multiple)
+        return tile, halo
+
+    def _key(self, entry: ModelEntry, omega: np.ndarray,
+             resolution: int) -> tuple:
+        return result_key(entry.version, entry.problem_signature(), omega,
+                          resolution, step=self.config.omega_step)
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (f"PredictionServer(models={list(self.registry.names())}, "
+                f"running={self.running}, requests={s.requests}, "
+                f"cache_hits={s.cache_hits}, batches={s.batches})")

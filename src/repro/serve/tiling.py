@@ -1,0 +1,175 @@
+"""Tiled megavoxel inference: exact full-field prediction in bounded memory.
+
+A full U-Net forward at megavoxel resolution holds ``base_filters`` x the
+input field in activations per layer — far beyond what one forward pass
+can afford.  This module shards the spatial grid into halo-padded tiles,
+runs the network tile by tile, and stitches an *exact* full-field result:
+
+* tile starts and halo widths are aligned to ``2**depth`` so every
+  down/up-sampling grid inside a tile coincides with the full-field one;
+* the halo is at least the network's receptive-field radius, so the
+  zero padding a 'same' conv applies at a padded tile's edge can never
+  reach the tile's core region;
+* at the physical domain boundary the tile is cropped instead of padded
+  (:func:`repro.distributed.model_parallel.extract_padded_block`), so the
+  network's own zero padding applies there exactly as in the full-field
+  computation.
+
+In eval mode every layer of MGDiffNet is spatially local (convolutions,
+transposed convolutions, pointwise activations, BatchNorm with running
+statistics), which is what makes the stitched result exact rather than
+approximate.
+
+Tile scratch buffers come from the active backend's :class:`BufferPool`,
+so a long-running server recycles the same few tile allocations instead
+of churning the allocator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..backend import get_pool
+from ..core.inference import apply_bc_masks, prepare_batch_inputs
+from ..distributed.model_parallel import extract_padded_block
+
+__all__ = ["TilePlan", "receptive_halo", "plan_tiles", "tiled_forward",
+           "tiled_predict"]
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Axis-aligned tiling of a spatial grid.
+
+    ``blocks`` holds, per tile, a tuple of per-axis ``(start, stop)``
+    core ranges; halos are resolved at execution time against the domain
+    boundary by :func:`extract_padded_block`.
+    """
+
+    shape: tuple[int, ...]
+    tile: int
+    halo: int
+    multiple: int
+    blocks: tuple[tuple[tuple[int, int], ...], ...]
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.blocks)
+
+
+def receptive_halo(model) -> int:
+    """Conservative receptive-field radius of an MGDiffNet/UNet, rounded
+    up to a multiple of ``2**depth`` (the tile alignment unit).
+
+    Walking the architecture: each encoder level l contributes a k3 conv
+    block plus a k2 stride-2 downsample (~2 * 2**l fine pixels), the
+    bottleneck a k3 block at the coarsest scale (2**depth), each decoder
+    level another k3 block (2**l), and each refinement block two k3
+    layers at the finest scale.  Summing and rounding up gives a radius
+    that provably covers the true receptive field.
+    """
+    net = getattr(model, "net", model)
+    depth = net.depth
+    unit = 2 ** depth
+    n_ref = len(list(net.refinements.children())) if hasattr(
+        net, "refinements") else 0
+    radius = 4 * unit - 3 + 2 * n_ref
+    return ((radius + unit - 1) // unit) * unit
+
+
+def plan_tiles(shape: tuple[int, ...], tile: int, halo: int,
+               multiple: int) -> TilePlan:
+    """Partition a spatial ``shape`` into aligned core blocks.
+
+    ``tile`` and ``halo`` must be positive multiples of ``multiple``
+    (= ``2**depth``) and every spatial size must itself be divisible by
+    ``multiple`` — the same constraint the U-Net puts on its input.
+    """
+    if tile < multiple or tile % multiple:
+        raise ValueError(
+            f"tile {tile} must be a positive multiple of {multiple}")
+    if halo < 0 or halo % multiple:
+        raise ValueError(f"halo {halo} must be a multiple of {multiple}")
+    for s in shape:
+        if s % multiple:
+            raise ValueError(
+                f"spatial size {s} not divisible by {multiple}")
+    per_axis = [[(start, min(start + tile, s)) for start in range(0, s, tile)]
+                for s in shape]
+    blocks = tuple(tuple(combo) for combo in itertools.product(*per_axis))
+    return TilePlan(shape=tuple(shape), tile=tile, halo=halo,
+                    multiple=multiple, blocks=blocks)
+
+
+def tiled_forward(net, x: np.ndarray, plan: TilePlan,
+                  out_channels: int = 1) -> np.ndarray:
+    """Run ``net`` (a spatially local module in eval mode) over halo-padded
+    tiles of ``x`` (shape (N, C, *spatial)) and stitch the full output.
+
+    The caller is responsible for eval mode; this function only manages
+    tiling, scratch buffers and stitching.
+    """
+    if x.shape[2:] != plan.shape:
+        raise ValueError(
+            f"input spatial shape {x.shape[2:]} != plan shape {plan.shape}")
+    pool = get_pool()
+    out = np.empty((x.shape[0], out_channels) + plan.shape, dtype=x.dtype)
+    for block in plan.blocks:
+        padded = x
+        offsets = []
+        for d, (start, stop) in enumerate(block):
+            padded, off = extract_padded_block(
+                padded, axis=2 + d, start=start, stop=stop, halo=plan.halo)
+            offsets.append(off)
+        # Pooled contiguous scratch: the slicing above yields a view.
+        buf = pool.acquire(padded.shape, dtype=padded.dtype)
+        np.copyto(buf, padded)
+        try:
+            with no_grad():
+                y = net(Tensor(buf)).data
+        finally:
+            pool.release(buf)
+        core_src = tuple(
+            slice(off, off + (stop - start))
+            for off, (start, stop) in zip(offsets, block))
+        core_dst = tuple(slice(start, stop) for start, stop in block)
+        out[(slice(None), slice(None)) + core_dst] = \
+            y[(slice(None), slice(None)) + core_src]
+    return out
+
+
+def tiled_predict(model, problem, omegas: np.ndarray,
+                  resolution: int | None = None, tile: int | None = None,
+                  halo: int | None = None) -> np.ndarray:
+    """Tiled counterpart of :func:`repro.core.inference.predict_batch`.
+
+    Produces the same ``(B, *grid.shape)`` full-field predictions, but
+    never materializes activations for more than one ``tile + 2*halo``
+    block at a time.  With the default (receptive-field) halo the result
+    matches the single-pass forward to float roundoff.
+    """
+    log_nu, chi_int, u_bc = prepare_batch_inputs(problem, omegas, resolution)
+    shape = log_nu.shape[2:]
+
+    net = model.net
+    multiple = 2 ** net.depth
+    if halo is None:
+        halo = receptive_halo(model)
+    if tile is None:
+        tile = max(multiple, min(shape))
+    plan = plan_tiles(shape, tile, halo, multiple)
+
+    was_training = model.training
+    model.eval()
+    try:
+        u_net = tiled_forward(net, log_nu, plan, out_channels=1)
+    finally:
+        model.train(was_training)
+
+    # Dirichlet masking (Algorithm 1 line 8) is pointwise, so applying it
+    # to the stitched field is identical to applying it per tile.
+    return apply_bc_masks(u_net, chi_int, u_bc)

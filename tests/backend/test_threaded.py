@@ -1,0 +1,146 @@
+"""ThreadedBackend: semantic parity with the NumPy reference backend."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ThreadedBackend, available_backends, ops as B, use_backend,
+)
+from repro.backend.threaded import _MIN_BYTES
+
+RNG = np.random.default_rng(5)
+
+
+def _big(*shape):
+    """Operand comfortably above the threading threshold."""
+    a = RNG.standard_normal(shape)
+    assert a.nbytes >= _MIN_BYTES // 2
+    return a
+
+
+class TestRegistration:
+    def test_registered_by_name(self):
+        assert "threaded" in available_backends()
+
+    def test_inherits_numpy_ops(self):
+        backend = ThreadedBackend()
+        assert backend.has_op("conv is not an op") is False
+        assert backend.has_op("exp") and backend.has_op("pad")
+
+    def test_dispatcher_switches(self):
+        with use_backend("threaded"):
+            x = RNG.standard_normal((4, 4))
+            np.testing.assert_allclose(B.exp(x), np.exp(x))
+
+
+class TestTensordotParity:
+    def test_batched_contraction_splits(self):
+        a, b = _big(16, 64, 300), RNG.standard_normal((300, 32))
+        with use_backend("threaded"):
+            got = B.tensordot(a, b, axes=([2], [0]))
+        np.testing.assert_allclose(got, np.tensordot(a, b, axes=([2], [0])),
+                                   atol=1e-10)
+
+    def test_integer_axes_form(self):
+        a, b = _big(16, 64, 300), RNG.standard_normal((300, 32))
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.tensordot(a, b, axes=1),
+                                       np.tensordot(a, b, axes=1), atol=1e-10)
+
+    def test_negative_axes(self):
+        a, b = _big(16, 64, 300), RNG.standard_normal((300, 32))
+        with use_backend("threaded"):
+            np.testing.assert_allclose(
+                B.tensordot(a, b, axes=([-1], [0])),
+                np.tensordot(a, b, axes=([-1], [0])), atol=1e-10)
+
+    def test_contraction_over_axis0_falls_back(self):
+        a, c = _big(16, 64, 300), RNG.standard_normal((16, 64))
+        with use_backend("threaded"):
+            np.testing.assert_allclose(
+                B.tensordot(a, c, axes=([0, 1], [0, 1])),
+                np.tensordot(a, c, axes=([0, 1], [0, 1])), atol=1e-10)
+
+    def test_small_operands_fall_back(self):
+        a, b = RNG.standard_normal((3, 4, 5)), RNG.standard_normal((5, 2))
+        with use_backend("threaded"):
+            np.testing.assert_allclose(
+                B.tensordot(a, b, axes=([2], [0])),
+                np.tensordot(a, b, axes=([2], [0])))
+
+
+class TestMatmulParity:
+    def test_stacked_matmul_splits(self):
+        a, b = _big(32, 80, 80), _big(32, 80, 80)
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.matmul(a, b), np.matmul(a, b),
+                                       atol=1e-10)
+
+    def test_broadcast_rhs(self):
+        a, b = _big(32, 80, 80), RNG.standard_normal((80, 80))
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.matmul(a, b), np.matmul(a, b),
+                                       atol=1e-10)
+
+    def test_rhs_with_extra_batch_dims_falls_back(self):
+        # b.ndim > a.ndim: the result's leading axes come from b, so
+        # splitting a's axis 0 would be wrong — must fall back.
+        a, b = _big(4, 256, 256), _big(4, 4, 256, 256)
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.matmul(a, b), np.matmul(a, b),
+                                       atol=1e-10)
+        a2, b2 = _big(4, 256, 256), RNG.standard_normal((1, 4, 256, 256))
+        with use_backend("threaded"):
+            got = B.matmul(a2, b2)
+        assert got.shape == np.matmul(a2, b2).shape == (1, 4, 256, 256)
+
+    def test_rhs_with_fewer_batch_dims_splits_correctly(self):
+        a, b = _big(6, 5, 128, 128), _big(5, 128, 128)
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.matmul(a, b), np.matmul(a, b),
+                                       atol=1e-10)
+
+    def test_2d_matmul_falls_back(self):
+        a, b = RNG.standard_normal((64, 64)), RNG.standard_normal((64, 64))
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.matmul(a, b), np.matmul(a, b))
+
+
+class TestEinsumParity:
+    @pytest.mark.parametrize("spec,shapes", [
+        ("bij,bjk->bik", [(32, 80, 80), (32, 80, 80)]),
+        ("bij,jk->bik", [(32, 80, 80), (80, 80)]),
+        ("bchw,c->bhw", [(16, 8, 64, 64), (8,)]),
+    ])
+    def test_batch_split(self, spec, shapes):
+        operands = [RNG.standard_normal(s) for s in shapes]
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.einsum(spec, *operands),
+                                       np.einsum(spec, *operands),
+                                       atol=1e-10)
+
+    @pytest.mark.parametrize("spec,shapes", [
+        ("ij,jk", [(64, 64), (64, 64)]),        # implicit output
+        ("...ij,jk->...ik", [(4, 64, 64), (64, 64)]),  # ellipsis
+        ("ii->i", [(64, 64)]),                  # repeated subscript
+        ("ij,jk->k", [(64, 64), (64, 64)]),     # below size threshold
+    ])
+    def test_unsplittable_forms_fall_back(self, spec, shapes):
+        operands = [RNG.standard_normal(s) for s in shapes]
+        with use_backend("threaded"):
+            np.testing.assert_allclose(B.einsum(spec, *operands),
+                                       np.einsum(spec, *operands))
+
+
+class TestEndToEnd:
+    def test_inference_parity_with_numpy_backend(self):
+        from repro import MGDiffNet, PoissonProblem2D
+        from repro.core.inference import predict_batch
+
+        problem = PoissonProblem2D(16)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0)
+        omegas = RNG.uniform(-3, 3, size=(4, 4))
+        ref = predict_batch(model, problem, omegas)
+        with use_backend("threaded"):
+            got = predict_batch(model, problem, omegas)
+        np.testing.assert_allclose(got, ref, atol=1e-6)

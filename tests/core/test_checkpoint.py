@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro import MGDiffNet, PoissonProblem2D, Trainer, TrainConfig
-from repro.core.checkpoint import save_checkpoint, load_checkpoint
+from repro.core.checkpoint import (
+    CheckpointError, load_checkpoint, save_checkpoint,
+)
 from repro.optim import Adam
 
 
@@ -60,6 +62,38 @@ class TestRoundtrip:
     def test_creates_parent_dirs(self, tmp_path):
         path = save_checkpoint(tmp_path / "a" / "b" / "ck.npz", _model(0))
         assert path.exists()
+
+
+class TestMismatchErrors:
+    def test_shape_mismatch_names_key_and_path(self, tmp_path):
+        wide = MGDiffNet(ndim=2, base_filters=8, depth=1, rng=0)
+        save_checkpoint(tmp_path / "wide.npz", wide, epoch=1)
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(tmp_path / "wide.npz", _model(0))
+        message = str(err.value)
+        assert "wide.npz" in message
+        assert "shape mismatch" in message
+        # The offending parameter keys are spelled out.
+        assert "net." in message
+
+    def test_depth_mismatch_reports_missing_and_unexpected(self, tmp_path):
+        deep = MGDiffNet(ndim=2, base_filters=4, depth=2, rng=0)
+        save_checkpoint(tmp_path / "deep.npz", deep, epoch=1)
+        with pytest.raises(CheckpointError) as err:
+            load_checkpoint(tmp_path / "deep.npz", _model(0))
+        assert "unexpected keys" in str(err.value)
+
+    def test_missing_keys_reported(self, tmp_path):
+        shallow = _model(0)
+        save_checkpoint(tmp_path / "shallow.npz", shallow, epoch=1)
+        deep = MGDiffNet(ndim=2, base_filters=4, depth=2, rng=0)
+        with pytest.raises(CheckpointError, match="missing keys"):
+            load_checkpoint(tmp_path / "shallow.npz", deep)
+
+    def test_matching_checkpoint_still_loads(self, tmp_path):
+        save_checkpoint(tmp_path / "ok.npz", _model(0), epoch=5)
+        meta = load_checkpoint(tmp_path / "ok.npz", _model(1))
+        assert meta["epoch"] == 5
 
 
 class TestResumeEquivalence:

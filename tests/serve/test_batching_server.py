@@ -1,0 +1,190 @@
+"""Micro-batching policy and the prediction server front-ends."""
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core.inference import predict_batch
+from repro.serve import (
+    MicroBatcher, ModelRegistry, PredictRequest, PredictionServer,
+    ServerConfig,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def _request(name="m", resolution=16, omega=None):
+    omega = np.zeros(4) if omega is None else omega
+    return PredictRequest(model_name=name, omega=omega,
+                         resolution=resolution, future=Future())
+
+
+@pytest.fixture(scope="module")
+def served():
+    problem = PoissonProblem2D(16)
+    model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=1)
+    registry = ModelRegistry()
+    registry.register_model("m", model, problem)
+    return model, problem, registry
+
+
+class TestMicroBatcher:
+    def test_coalesces_up_to_max_batch(self):
+        q = queue.Queue()
+        for _ in range(5):
+            q.put(_request())
+        batch = MicroBatcher(max_batch=3, max_wait_ms=50).collect(q)
+        assert len(batch) == 3
+        assert q.qsize() == 2
+
+    def test_respects_deadline(self):
+        q = queue.Queue()
+        q.put(_request())
+        t0 = time.perf_counter()
+        batch = MicroBatcher(max_batch=8, max_wait_ms=20).collect(q)
+        waited = time.perf_counter() - t0
+        assert len(batch) == 1
+        assert waited < 0.5
+
+    def test_zero_wait_serves_singletons(self):
+        q = queue.Queue()
+        q.put(_request())
+        q.put(_request())
+        batch = MicroBatcher(max_batch=8, max_wait_ms=0).collect(q)
+        # Deadline already passed: drains what is queued, never waits.
+        assert 1 <= len(batch) <= 2
+
+    def test_stop_returns_empty(self):
+        stop = threading.Event()
+        stop.set()
+        batch = MicroBatcher(max_batch=4, max_wait_ms=1).collect(
+            queue.Queue(), stop=stop, poll_s=0.01)
+        assert batch == []
+
+    def test_grouping_splits_incompatible_requests(self):
+        batch = [_request(resolution=16), _request(resolution=32),
+                 _request(resolution=16), _request(name="other")]
+        groups = MicroBatcher.group_compatible(batch)
+        assert [len(g) for g in groups] == [2, 1, 1]
+        assert groups[0][0] is batch[0] and groups[0][1] is batch[2]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1)
+
+
+class TestSyncFrontend:
+    def test_matches_predict_batch(self, served):
+        model, problem, registry = served
+        server = PredictionServer(registry)
+        omega = RNG.uniform(-3, 3, 4)
+        ref = predict_batch(model, problem, omega)[0]
+        np.testing.assert_allclose(server.predict("m", omega), ref,
+                                   atol=1e-6)
+
+    def test_cache_hit_on_repeat(self, served):
+        *_, registry = served
+        server = PredictionServer(registry)
+        omega = RNG.uniform(-3, 3, 4)
+        first = server.predict("m", omega)
+        again = server.predict("m", omega)
+        np.testing.assert_array_equal(first, again)
+        assert server.stats.cache_hits == 1
+        assert server.cache.stats.hits == 1
+
+    def test_quantized_omegas_share_cache_entry(self, served):
+        *_, registry = served
+        server = PredictionServer(registry)
+        omega = RNG.uniform(-3, 3, 4)
+        server.predict("m", omega)
+        server.predict("m", omega + 1e-8)
+        assert server.stats.cache_hits == 1
+
+    def test_wrong_arity_omega_rejected_at_submit(self, served):
+        # Must fail fast in submit: inside a worker it would poison the
+        # fused np.stack of its whole micro-batch group.
+        *_, registry = served
+        server = PredictionServer(registry)
+        with pytest.raises(ValueError, match="length 4"):
+            server.submit("m", np.zeros(3))
+
+    def test_served_fields_read_only_on_miss_and_hit(self, served):
+        *_, registry = served
+        server = PredictionServer(registry)
+        omega = RNG.uniform(-3, 3, 4)
+        miss = server.predict("m", omega)
+        hit = server.predict("m", omega)
+        for u in (miss, hit):
+            with pytest.raises(ValueError):
+                u[0, 0] = 1.0
+
+    def test_unknown_model_raises(self, served):
+        *_, registry = served
+        from repro.serve import RegistryError
+
+        with pytest.raises(RegistryError, match="no model named"):
+            PredictionServer(registry).predict("nope", np.zeros(4))
+
+
+class TestWorkerFrontend:
+    def test_coalesced_results_match_individual(self, served):
+        """Micro-batch coalescing determinism: fused forward == per-call."""
+        model, problem, registry = served
+        omegas = RNG.uniform(-3, 3, size=(12, 4))
+        ref = predict_batch(model, problem, omegas)
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=6, max_wait_ms=50, workers=1, cache_bytes=0))
+        with server:
+            futures = [server.submit("m", w) for w in omegas]
+            got = np.stack([f.result(timeout=30) for f in futures])
+        np.testing.assert_allclose(got, ref, atol=1e-6)
+        assert server.stats.batches < len(omegas)  # coalescing happened
+        assert server.stats.mean_batch_size > 1.0
+
+    def test_predict_many_roundtrip(self, served):
+        model, problem, registry = served
+        omegas = RNG.uniform(-3, 3, size=(5, 4))
+        ref = predict_batch(model, problem, omegas)
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=4, max_wait_ms=10, workers=2))
+        with server:
+            got = server.predict_many("m", omegas, timeout=30)
+        np.testing.assert_allclose(got, ref, atol=1e-6)
+
+    def test_stop_drains_pending_requests(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=4, max_wait_ms=5, workers=1, cache_bytes=0))
+        server.start()
+        futures = [server.submit("m", RNG.uniform(-3, 3, 4))
+                   for _ in range(6)]
+        server.stop(drain=True)
+        assert all(f.done() for f in futures)
+        assert not server.running
+
+    def test_submit_error_propagates_via_future(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=2, max_wait_ms=5, workers=1))
+        with server:
+            future = server.submit("m", np.zeros(4), resolution=7)  # odd: invalid
+            with pytest.raises(ValueError):
+                future.result(timeout=30)
+        assert server.stats.errors == 1
+
+    def test_tiled_path_engages_above_threshold(self, served):
+        model, problem, registry = served
+        omegas = RNG.uniform(-3, 3, size=(3, 4))
+        ref = predict_batch(model, problem, omegas)
+        server = PredictionServer(registry, ServerConfig(
+            tile_threshold_voxels=64, tile=8))  # 16^2 = 256 > 64
+        got = server.predict_many("m", omegas)
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+        assert server.stats.tiled_forwards >= 1

@@ -1,0 +1,92 @@
+"""LRU result cache: hit/eviction semantics and key quantization."""
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, quantize_omega, result_key
+
+
+def _field(value: float, n: int = 8) -> np.ndarray:
+    return np.full((n, n), value, dtype=np.float32)
+
+
+class TestQuantization:
+    def test_nearby_omegas_share_a_key(self):
+        a = quantize_omega(np.array([0.1, -0.2, 0.3, 0.4]))
+        b = quantize_omega(np.array([0.1 + 4e-7, -0.2, 0.3, 0.4]))
+        assert a == b
+
+    def test_distant_omegas_differ(self):
+        a = quantize_omega(np.array([0.1, 0.2, 0.3, 0.4]))
+        b = quantize_omega(np.array([0.1 + 1e-3, 0.2, 0.3, 0.4]))
+        assert a != b
+
+    def test_negative_zero_collapses(self):
+        assert quantize_omega(np.array([-1e-9])) == quantize_omega(
+            np.array([1e-9]))
+
+    def test_result_key_separates_versions_and_resolutions(self):
+        sig = (2, 16, (1.0, 2.0), (-3.0, 3.0))
+        w = np.zeros(4)
+        assert result_key("v1", sig, w, 16) != result_key("v2", sig, w, 16)
+        assert result_key("v1", sig, w, 16) != result_key("v1", sig, w, 32)
+
+
+class TestLRU:
+    def test_hit_returns_stored_field(self):
+        cache = LRUCache(max_bytes=1 << 20)
+        cache.put(("k",), _field(1.0))
+        got = cache.get(("k",))
+        np.testing.assert_array_equal(got, _field(1.0))
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_miss_recorded(self):
+        cache = LRUCache(max_bytes=1 << 20)
+        assert cache.get(("absent",)) is None
+        assert cache.stats.misses == 1
+
+    def test_byte_bound_evicts_lru(self):
+        one = _field(0.0).nbytes
+        cache = LRUCache(max_bytes=2 * one)
+        cache.put(("a",), _field(1.0))
+        cache.put(("b",), _field(2.0))
+        cache.get(("a",))              # refresh 'a': 'b' is now LRU
+        cache.put(("c",), _field(3.0))
+        assert cache.get(("b",)) is None
+        np.testing.assert_array_equal(cache.get(("a",)), _field(1.0))
+        np.testing.assert_array_equal(cache.get(("c",)), _field(3.0))
+        assert cache.stats.evictions == 1
+        assert cache.stats.bytes_cached <= cache.max_bytes
+
+    def test_oversized_entry_not_admitted(self):
+        cache = LRUCache(max_bytes=8)
+        cache.put(("big",), _field(1.0))
+        assert len(cache) == 0
+
+    def test_replacement_updates_bytes(self):
+        cache = LRUCache(max_bytes=1 << 20)
+        cache.put(("k",), _field(1.0))
+        cache.put(("k",), _field(2.0))
+        assert len(cache) == 1
+        assert cache.stats.bytes_cached == _field(2.0).nbytes
+        np.testing.assert_array_equal(cache.get(("k",)), _field(2.0))
+
+    def test_stored_fields_are_immutable(self):
+        cache = LRUCache(max_bytes=1 << 20)
+        cache.put(("k",), _field(1.0))
+        got = cache.get(("k",))
+        with pytest.raises(ValueError):
+            got[0, 0] = 99.0
+
+    def test_put_copies_input(self):
+        cache = LRUCache(max_bytes=1 << 20)
+        src = _field(1.0)
+        cache.put(("k",), src)
+        src[:] = -1.0
+        np.testing.assert_array_equal(cache.get(("k",)), _field(1.0))
+
+    def test_clear(self):
+        cache = LRUCache(max_bytes=1 << 20)
+        cache.put(("k",), _field(1.0))
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.bytes_cached == 0

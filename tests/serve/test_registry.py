@@ -1,0 +1,109 @@
+"""Model registry: checkpoint round-trips, versioning and keyed errors."""
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core.checkpoint import save_checkpoint
+from repro.core.inference import predict_batch
+from repro.serve import ModelRegistry, RegistryError
+
+
+def _model(rng=0, base_filters=4, depth=1):
+    return MGDiffNet(ndim=2, base_filters=base_filters, depth=depth, rng=rng)
+
+
+def _save(tmp_path, model, name="ck.npz", resolution=16, **overrides):
+    extra = {"ndim": 2, "base_filters": 4, "depth": 1,
+             "resolution": resolution}
+    extra.update(overrides)
+    return save_checkpoint(tmp_path / name, model, extra=extra)
+
+
+class TestRoundtrip:
+    def test_load_restores_weights_and_problem(self, tmp_path):
+        trained = _model(3)
+        path = _save(tmp_path, trained)
+        registry = ModelRegistry()
+        entry = registry.load("served", path)
+        assert entry.problem.ndim == 2
+        assert entry.problem.resolution == 16
+        assert entry.path == path
+        omega = np.array([0.3, -1.2, 0.9, 2.1])
+        ref = predict_batch(trained, PoissonProblem2D(16), omega)
+        got = predict_batch(entry.model, entry.problem, omega)
+        np.testing.assert_allclose(got, ref, atol=1e-7)
+
+    def test_version_tracks_weights(self, tmp_path):
+        registry = ModelRegistry()
+        e1 = registry.load("a", _save(tmp_path, _model(1), "a.npz"))
+        e2 = registry.load("b", _save(tmp_path, _model(2), "b.npz"))
+        e1_again = registry.load("c", _save(tmp_path, _model(1), "c.npz"))
+        assert e1.version != e2.version
+        assert e1.version == e1_again.version
+
+    def test_reload_replaces_entry(self, tmp_path):
+        registry = ModelRegistry()
+        registry.load("m", _save(tmp_path, _model(1), "v1.npz"))
+        v1 = registry.get("m").version
+        registry.load("m", _save(tmp_path, _model(2), "v2.npz"))
+        assert registry.get("m").version != v1
+        assert len(registry) == 1
+
+    def test_names_and_contains(self, tmp_path):
+        registry = ModelRegistry()
+        registry.load("m", _save(tmp_path, _model(1)))
+        assert "m" in registry and registry.names() == ("m",)
+        registry.unregister("m")
+        assert "m" not in registry
+
+
+class TestErrors:
+    def test_missing_file(self):
+        with pytest.raises(RegistryError, match="does not exist"):
+            ModelRegistry().load("m", "/nonexistent/ck.npz")
+
+    def test_missing_architecture_metadata(self, tmp_path):
+        path = save_checkpoint(tmp_path / "bare.npz", _model(0))
+        with pytest.raises(RegistryError, match="architecture metadata"):
+            ModelRegistry().load("m", path)
+
+    def test_architecture_mismatch_names_path_and_keys(self, tmp_path):
+        # Saved with depth=2 weights but metadata claiming depth=1: the
+        # keyed CheckpointError must surface through RegistryError with
+        # the checkpoint path.
+        path = _save(tmp_path, _model(0, depth=2), "lie.npz")
+        with pytest.raises(RegistryError) as err:
+            ModelRegistry().load("m", path)
+        message = str(err.value)
+        assert "lie.npz" in message
+        assert "keys" in message or "shape" in message
+
+    def test_unknown_name_lists_available(self, tmp_path):
+        registry = ModelRegistry()
+        registry.load("present", _save(tmp_path, _model(1)))
+        with pytest.raises(RegistryError, match="present"):
+            registry.get("absent")
+
+    def test_failed_validation_leaves_nothing_registered(self, tmp_path):
+        poisoned = _model(0)
+        for p in poisoned.parameters():
+            p.data[:] = np.nan
+        path = _save(tmp_path, poisoned, "nan.npz")
+        registry = ModelRegistry()
+        with pytest.raises(RegistryError, match="non-finite"):
+            registry.load("m", path)
+        assert "m" not in registry and len(registry) == 0
+
+
+class TestEvalPinning:
+    def test_registered_models_are_pinned_to_eval(self, tmp_path):
+        model = _model(0)
+        assert model.training  # fresh models start in training mode
+        ModelRegistry().register_model("m", model, PoissonProblem2D(16))
+        assert not model.training
+
+    def test_loaded_models_are_pinned_to_eval(self, tmp_path):
+        registry = ModelRegistry()
+        entry = registry.load("m", _save(tmp_path, _model(1)))
+        assert not entry.model.training

@@ -1,0 +1,118 @@
+"""Tiled inference: exactness against the single-pass forward."""
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D, PoissonProblem3D
+from repro.core.inference import predict_batch
+from repro.serve import plan_tiles, receptive_halo, tiled_predict
+
+RNG = np.random.default_rng(7)
+
+
+def _omegas(n=3):
+    return RNG.uniform(-3.0, 3.0, size=(n, 4))
+
+
+class TestPlan:
+    def test_tile_covers_domain_without_overlap(self):
+        plan = plan_tiles((16, 24), tile=8, halo=8, multiple=4)
+        seen = np.zeros((16, 24), dtype=int)
+        for block in plan.blocks:
+            (x0, x1), (y0, y1) = block
+            seen[x0:x1, y0:y1] += 1
+        assert (seen == 1).all()
+        assert plan.num_tiles == 2 * 3
+
+    def test_ragged_last_tile_stays_aligned(self):
+        plan = plan_tiles((24,), tile=16, halo=0, multiple=8)
+        assert plan.blocks == (((0, 16),), ((16, 24),))
+
+    def test_misaligned_tile_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            plan_tiles((16, 16), tile=6, halo=4, multiple=4)
+
+    def test_misaligned_halo_rejected(self):
+        with pytest.raises(ValueError, match="halo"):
+            plan_tiles((16, 16), tile=8, halo=2, multiple=4)
+
+    def test_indivisible_shape_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            plan_tiles((18, 16), tile=8, halo=4, multiple=4)
+
+
+class TestReceptiveHalo:
+    def test_halo_is_alignment_multiple(self):
+        for depth in (1, 2, 3):
+            model = MGDiffNet(ndim=2, base_filters=4, depth=depth, rng=0)
+            halo = receptive_halo(model)
+            assert halo % (2 ** depth) == 0 and halo > 0
+
+    def test_adaptation_widens_halo(self):
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0)
+        before = receptive_halo(model)
+        model.adapt(rng=1)
+        assert receptive_halo(model) >= before
+
+
+class TestExactness2D:
+    @pytest.mark.parametrize("depth,resolution,tile",
+                             [(1, 16, 2), (1, 16, 4), (1, 16, 8),
+                              (2, 32, 4), (2, 32, 8), (2, 32, 16)])
+    def test_tiled_matches_full_field(self, depth, resolution, tile):
+        problem = PoissonProblem2D(resolution)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=depth, rng=1)
+        omegas = _omegas()
+        ref = predict_batch(model, problem, omegas)
+        got = tiled_predict(model, problem, omegas, tile=tile)
+        assert got.shape == ref.shape
+        assert np.abs(got - ref).max() <= 1e-5
+
+    @pytest.mark.parametrize("extra", [0, 4, 8])
+    def test_wider_halo_stays_exact(self, extra):
+        problem = PoissonProblem2D(16)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=2, rng=2)
+        omegas = _omegas(2)
+        ref = predict_batch(model, problem, omegas)
+        halo = receptive_halo(model) + extra
+        got = tiled_predict(model, problem, omegas, tile=8, halo=halo)
+        assert np.abs(got - ref).max() <= 1e-5
+
+    def test_ragged_tiling_exact(self):
+        # 24 does not divide by tile 16: last tile is ragged but aligned.
+        problem = PoissonProblem2D(24)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=3)
+        omegas = _omegas(2)
+        ref = predict_batch(model, problem, omegas)
+        got = tiled_predict(model, problem, omegas, tile=16)
+        assert np.abs(got - ref).max() <= 1e-5
+
+    def test_adapted_model_exact_with_default_halo(self):
+        problem = PoissonProblem2D(16)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=4)
+        model.adapt(rng=5)
+        omegas = _omegas(2)
+        ref = predict_batch(model, problem, omegas)
+        got = tiled_predict(model, problem, omegas, tile=4)
+        assert np.abs(got - ref).max() <= 1e-5
+
+
+class TestExactness3D:
+    @pytest.mark.parametrize("tile", [2, 4, 8])
+    def test_tiled_matches_full_field_3d(self, tile):
+        problem = PoissonProblem3D(8)
+        model = MGDiffNet(ndim=3, base_filters=4, depth=1, rng=1)
+        omegas = _omegas(2)
+        ref = predict_batch(model, problem, omegas)
+        got = tiled_predict(model, problem, omegas, tile=tile)
+        assert got.shape == ref.shape
+        assert np.abs(got - ref).max() <= 1e-5
+
+    def test_single_omega_vector(self):
+        problem = PoissonProblem3D(8)
+        model = MGDiffNet(ndim=3, base_filters=4, depth=1, rng=2)
+        omega = _omegas(1)[0]
+        ref = predict_batch(model, problem, omega)
+        got = tiled_predict(model, problem, omega, tile=4)
+        assert got.shape == ref.shape == (1, 8, 8, 8)
+        assert np.abs(got - ref).max() <= 1e-5

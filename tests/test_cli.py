@@ -96,3 +96,73 @@ class TestTrainPredict:
         assert main(["predict", "--checkpoint", str(ck),
                      "--output", str(out_vti)]) == 0
         assert out_vti.exists()
+
+
+@pytest.fixture(scope="module")
+def trained_checkpoint(tmp_path_factory):
+    ck = tmp_path_factory.mktemp("serve") / "model.npz"
+    assert main(["train", "--resolution", "8", "--samples", "4",
+                 "--levels", "1", "--base-filters", "4", "--depth", "1",
+                 "--max-epochs", "1", "--batch-size", "4",
+                 "--checkpoint", str(ck)]) == 0
+    return ck
+
+
+class TestServe:
+    def test_predict_tiled_matches_full(self, trained_checkpoint, capsys):
+        assert main(["predict", "--checkpoint",
+                     str(trained_checkpoint)]) == 0
+        full = capsys.readouterr().out
+        assert main(["predict", "--checkpoint", str(trained_checkpoint),
+                     "--tile", "4"]) == 0
+        tiled = capsys.readouterr().out
+        assert full.splitlines()[-1] == tiled.splitlines()[-1]
+
+    def test_predict_bad_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        assert main(["predict", "--checkpoint",
+                     str(tmp_path / "missing.npz")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_synthetic_load(self, trained_checkpoint, capsys):
+        assert main(["serve", "--checkpoint",
+                     f"demo={trained_checkpoint}",
+                     "--requests", "8", "--max-batch", "4",
+                     "--workers", "2", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 16 requests" in out
+        assert "QPS" in out and "p99" in out
+        assert "cache:" in out and "8 hits" in out
+
+    def test_serve_omega_file(self, trained_checkpoint, tmp_path, capsys):
+        omega_file = tmp_path / "omegas.csv"
+        omega_file.write_text("0.1,0.2,0.3,0.4\n-1.0,2.0,0.0,1.0\n")
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--omega-file", str(omega_file)]) == 0
+        assert "served 2 requests" in capsys.readouterr().out
+
+    def test_serve_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        assert main(["serve", "--checkpoint",
+                     str(tmp_path / "nope.npz")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_predict_misaligned_tile_fails_cleanly(self, trained_checkpoint,
+                                                   capsys):
+        assert main(["predict", "--checkpoint", str(trained_checkpoint),
+                     "--tile", "5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_wrong_arity_omega_file_fails_cleanly(
+            self, trained_checkpoint, tmp_path, capsys):
+        omega_file = tmp_path / "bad.csv"
+        omega_file.write_text("0.1,0.2\n")
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--omega-file", str(omega_file)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_explicit_tile_forces_tiling(self, trained_checkpoint,
+                                               capsys):
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "4", "--tile", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 tiled forwards" not in out
+        assert "tiled forwards" in out
