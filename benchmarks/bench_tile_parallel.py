@@ -1,0 +1,136 @@
+"""TILE-PARALLEL — parallel tiled megavoxel inference vs sequential.
+
+Tiles of the exact tiled-inference path are independent (disjoint cores,
+read-only input), so they fan out over a worker pool
+(:mod:`repro.serve.executor`): thread workers exploit GIL-releasing BLAS,
+process workers escape the GIL entirely.  This benchmark measures the
+wall-clock speedup of thread- and process-parallel ``tiled_predict``
+against the sequential loop on one grid, verifies the stitched fields
+match the sequential result to <= ``TOL``, and writes
+``BENCH_tile_parallel.json`` for CI.
+
+Exactness is a hard gate: any divergence beyond ``TOL`` exits nonzero.
+The speedup assertion (process pool >= ``MIN_SPEEDUP`` at ``WORKERS``
+workers) is enforced whenever the host exposes at least ``WORKERS`` CPUs;
+on smaller hosts the measured numbers are still recorded, with the gate
+marked skipped in the JSON — a 1-core container cannot honestly show
+parallel wall-clock wins.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.serve import default_workers, make_executor, tiled_predict
+
+try:
+    from .common import bench_cli, report
+except ImportError:  # standalone execution
+    from common import bench_cli, report
+
+RESOLUTION = 256          # >= 256^2 grid (acceptance floor)
+TILE = 64
+BASE_FILTERS = 8
+DEPTH = 2
+WORKERS = 4
+REPEATS = 3
+TOL = 1e-5
+MIN_SPEEDUP = 1.5
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, np.ndarray]:
+    fn()                                   # warm-up (pools, plan caches)
+    best, out = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _run(resolution: int = RESOLUTION, tile: int = TILE,
+         workers: int = WORKERS, repeats: int = REPEATS) -> dict:
+    problem = PoissonProblem2D(resolution)
+    model = MGDiffNet(ndim=2, base_filters=BASE_FILTERS, depth=DEPTH, rng=42)
+    omega = np.random.default_rng(0).uniform(-3.0, 3.0, problem.field.m)
+
+    t_serial, ref = _best_of(
+        lambda: tiled_predict(model, problem, omega, tile=tile), repeats)
+    rows = [{"mode": "serial", "workers": 1, "seconds": t_serial,
+             "speedup": 1.0, "divergence": 0.0}]
+    for kind in ("thread", "process"):
+        with make_executor(kind, workers) as ex:
+            t, out = _best_of(
+                lambda: tiled_predict(model, problem, omega, tile=tile,
+                                      executor=ex), repeats)
+        rows.append({"mode": kind, "workers": workers, "seconds": t,
+                     "speedup": t_serial / t,
+                     "divergence": float(np.abs(out - ref).max())})
+
+    n_tiles = (resolution // tile) ** 2
+    return {"resolution": resolution, "tile": tile, "n_tiles": n_tiles,
+            "base_filters": BASE_FILTERS, "depth": DEPTH,
+            "workers": workers, "cpus": default_workers(), "rows": rows}
+
+
+def _report(result: dict) -> None:
+    report("tile_parallel",
+           ["mode", "workers", "seconds", "speedup", "divergence"],
+           [[r["mode"], r["workers"], round(r["seconds"], 4),
+             round(r["speedup"], 2), f"{r['divergence']:.1e}"]
+            for r in result["rows"]])
+
+
+def _gate(result: dict) -> int:
+    """Exactness always; speedup when the host has the cores for it."""
+    status = 0
+    for r in result["rows"]:
+        if r["divergence"] > TOL:
+            print(f"FAIL: {r['mode']} stitched field diverges from "
+                  f"sequential by {r['divergence']:.2e} > {TOL}")
+            status = 1
+    process = next(r for r in result["rows"] if r["mode"] == "process")
+    if result["cpus"] >= result["workers"]:
+        result["speedup_gate"] = "enforced"
+        if process["speedup"] < MIN_SPEEDUP:
+            print(f"FAIL: process pool speedup {process['speedup']:.2f}x "
+                  f"< {MIN_SPEEDUP}x at {result['workers']} workers "
+                  f"({result['cpus']} CPUs)")
+            status = 1
+    else:
+        result["speedup_gate"] = (
+            f"skipped: host has {result['cpus']} CPU(s) < "
+            f"{result['workers']} workers")
+        print(f"speedup gate skipped ({result['cpus']} CPU(s) available); "
+              f"measured process speedup {process['speedup']:.2f}x")
+    return status
+
+
+if __name__ == "__main__":
+    def extra(p):
+        p.add_argument("--resolution", type=int, default=RESOLUTION)
+        p.add_argument("--tile", type=int, default=TILE)
+        p.add_argument("--workers", type=int, default=WORKERS)
+        p.add_argument("--repeats", type=int, default=REPEATS)
+        p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write a JSON artifact (used by CI)")
+
+    args = bench_cli("bench_tile_parallel", extra_args=extra)
+    result = _run(args.resolution, args.tile, args.workers, args.repeats)
+    _report(result)
+    status = _gate(result)
+    if args.json:
+        import json
+        from pathlib import Path
+
+        from repro.backend import get_backend, get_conv_plan_mode
+
+        result["backend"] = get_backend().name
+        result["conv_plan"] = get_conv_plan_mode()
+        Path(args.json).write_text(json.dumps(result, indent=2))
+        print(f"wrote {args.json}")
+    sys.exit(status)

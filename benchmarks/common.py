@@ -45,8 +45,13 @@ def add_backend_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         "--dtype", default=None, choices=["float32", "float64"],
         help="default floating dtype for tensors built from Python data")
     parser.add_argument(
-        "--conv-plan", default=None, choices=["auto", "im2col", "tensordot"],
-        help="force a conv execution path (default: planner decides)")
+        "--conv-plan", default=None,
+        choices=["auto", "im2col", "tensordot", "autotune"],
+        help="force a conv execution path (default: planner decides; "
+             "'autotune' times both engines and persists the winner)")
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="shorthand for --conv-plan autotune")
     return parser
 
 
@@ -69,6 +74,8 @@ def bench_cli(description: str = "repro benchmark",
         set_default_dtype(args.dtype)
     if args.conv_plan:
         set_conv_plan_mode(args.conv_plan)
+    elif getattr(args, "autotune", False):
+        set_conv_plan_mode("autotune")
     return args
 
 

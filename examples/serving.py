@@ -1,16 +1,25 @@
 """Serving: train once, then answer many ω queries through the
 batching/caching prediction server — the paper's Sec. 4.3 economics.
 
-Trains a small model, registers it, and compares three ways to answer
+Trains a small model, registers it, and compares four ways to answer
 the same Sobol-sampled request load:
 
 1. sequential single-request inference (the baseline),
 2. the worker-thread server with dynamic micro-batching,
-3. a replay of the same load (every request a cache hit).
+3. the same server with a *process-pool* compute layer (``--executor
+   process`` escapes the GIL: fused forwards run in worker processes,
+   each with a freshly initialised backend),
+4. a replay of the same load (every request a cache hit).
+
+``--autotune`` additionally switches the conv planner to measured
+autotuning: on first sight of each conv signature both engines are
+timed, the winner is locked in, and the decision table persists across
+restarts (keyed by host fingerprint).
 
 Usage::
 
     python examples/serving.py [--resolution 16] [--requests 64]
+    python examples/serving.py --executor process --autotune
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import time
 import numpy as np
 
 from repro import MGDiffNet, MGTrainConfig, MultigridTrainer, PoissonProblem2D
+from repro.backend import set_conv_plan_mode
 from repro.data.sobol import sample_omega
 from repro.serve import ModelRegistry, PredictionServer, ServerConfig
 
@@ -31,7 +41,15 @@ def main() -> None:
     parser.add_argument("--requests", type=int, default=64)
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--executor", default="process",
+                        choices=("serial", "thread", "process"),
+                        help="compute layer for comparison step 3")
+    parser.add_argument("--autotune", action="store_true",
+                        help="measured conv autotuning (persisted per host)")
     args = parser.parse_args()
+
+    if args.autotune:
+        set_conv_plan_mode("autotune")
 
     problem = PoissonProblem2D(args.resolution)
     model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=0)
@@ -52,7 +70,7 @@ def main() -> None:
         model.predict(problem, omega)
     t_seq = time.perf_counter() - t0
 
-    # 2. Batched serving (cold cache).
+    # 2. Batched serving (cold cache), compute inline on worker threads.
     server = PredictionServer(registry, ServerConfig(
         max_batch=args.max_batch, max_wait_ms=20, workers=args.workers))
     t0 = time.perf_counter()
@@ -61,18 +79,33 @@ def main() -> None:
         fields = np.stack([f.result() for f in futures])
     t_batched = time.perf_counter() - t0
 
-    # 3. Replay: the cache answers everything.
+    # 3. Same load through a parallel compute executor (cold cache).
+    pool_server = PredictionServer(registry, ServerConfig(
+        max_batch=args.max_batch, max_wait_ms=20, workers=args.workers,
+        executor=args.executor))
+    t0 = time.perf_counter()
+    with pool_server:   # exit also releases the process pool
+        futures = [pool_server.submit("demo", w) for w in omegas]
+        pool_fields = np.stack([f.result() for f in futures])
+        # All futures resolved: measure before the exit so pool
+        # teardown does not count against the executor's QPS.
+        t_pool = time.perf_counter() - t0
+    np.testing.assert_allclose(pool_fields, fields, atol=1e-6)
+
+    # 4. Replay: the cache answers everything.
     t0 = time.perf_counter()
     replay = server.predict_many("demo", omegas)
     t_cached = time.perf_counter() - t0
     np.testing.assert_allclose(replay, fields, atol=1e-6)
 
     n = len(omegas)
-    print(f"sequential : {n / t_seq:8.1f} QPS")
-    print(f"batched    : {n / t_batched:8.1f} QPS "
+    print(f"sequential      : {n / t_seq:8.1f} QPS")
+    print(f"batched threads : {n / t_batched:8.1f} QPS "
           f"({t_seq / t_batched:.2f}x, mean batch "
           f"{server.stats.mean_batch_size:.1f})")
-    print(f"cache replay: {n / t_cached:7.1f} QPS "
+    print(f"{args.executor:7s} executor: {n / t_pool:8.1f} QPS "
+          f"({t_seq / t_pool:.2f}x)")
+    print(f"cache replay    : {n / t_cached:7.1f} QPS "
           f"(hit rate {100 * server.cache.stats.hit_rate:.0f}%)")
 
 

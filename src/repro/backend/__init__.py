@@ -31,6 +31,8 @@ register_backend("threaded", ThreadedBackend)
 from .conv_plan import (
     ConvSignature, ConvPlan, plan_conv, clear_plan_cache, plan_cache_info,
     set_conv_plan_mode, get_conv_plan_mode,
+    host_fingerprint, autotune_cache_path, set_autotune_cache_path,
+    autotune_table, clear_autotune_table, save_autotune_table,
 )
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "use_backend", "ops",
     "ConvSignature", "ConvPlan", "plan_conv", "clear_plan_cache",
     "plan_cache_info", "set_conv_plan_mode", "get_conv_plan_mode",
+    "host_fingerprint", "autotune_cache_path", "set_autotune_cache_path",
+    "autotune_table", "clear_autotune_table", "save_autotune_table",
 ]
 
 

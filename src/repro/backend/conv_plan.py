@@ -21,15 +21,30 @@ from the active backend's :class:`~repro.backend.pool.BufferPool`.
 ``REPRO_CONV_PLAN`` (or :func:`set_conv_plan_mode`) forces ``im2col`` /
 ``tensordot`` globally — used by the parity tests to drive both engines
 over identical inputs.
+
+**Measured autotuning** (mode ``autotune``): the heuristic thresholds
+above encode one host's cache sizes and BLAS behaviour.  In autotune mode
+the planner instead *times both engines* on first sight of a signature
+(synthetic data of exactly that shape, warm-up plus best-of-N) and locks
+in the measured winner.  Decisions are persisted to a JSON table keyed by
+a host fingerprint (``REPRO_AUTOTUNE_CACHE`` or
+``~/.cache/repro/conv_autotune.json``), so a server restart — or the next
+training run — skips re-timing entirely.  Signatures too large to time
+safely fall back to the heuristic and are recorded as such, so they are
+not re-examined either.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import os
+import platform
 import threading
+import time
 from dataclasses import dataclass
 from itertools import product
+from pathlib import Path
 
 import numpy as np
 
@@ -39,6 +54,8 @@ __all__ = [
     "ConvSignature", "ConvPlan", "plan_conv", "clear_plan_cache",
     "plan_cache_info", "set_conv_plan_mode", "get_conv_plan_mode",
     "run_conv_forward", "run_conv_backward",
+    "host_fingerprint", "autotune_cache_path", "set_autotune_cache_path",
+    "autotune_table", "clear_autotune_table", "save_autotune_table",
 ]
 
 # Heuristic thresholds (see _decide): taps = prod(kernel).
@@ -50,7 +67,7 @@ IM2COL_CACHE_PATCH_BYTES = 384 << 10  # patch must stay cache-resident (384 KiB)
 #                                     unless the thin-GEMM rescue applies
 IM2COL_MAX_PATCH_BYTES = 1 << 28    # 256 MiB absolute patch-matrix ceiling
 
-_VALID_MODES = ("auto", "im2col", "tensordot")
+_VALID_MODES = ("auto", "im2col", "tensordot", "autotune")
 _mode = os.environ.get("REPRO_CONV_PLAN", "auto")
 if _mode not in _VALID_MODES:  # pragma: no cover - env misconfiguration
     _mode = "auto"
@@ -123,11 +140,18 @@ class ConvSignature:
 
 @dataclass(frozen=True)
 class ConvPlan:
-    """A memoized execution decision for one conv signature."""
+    """A memoized execution decision for one conv signature.
+
+    ``path`` drives the forward pass.  ``backward_path`` may differ: the
+    autotuner times the two directions separately (the backward's
+    col2im scatter and dW contraction have their own crossover points);
+    heuristic and forced modes keep both directions on one engine.
+    """
 
     signature: ConvSignature
     path: str                     # 'im2col' | 'tensordot'
     reason: str
+    backward_path: str | None = None  # None: same engine as forward
 
 
 def _decide(sig: ConvSignature, mode: str) -> tuple[str, str]:
@@ -157,6 +181,240 @@ def _decide(sig: ConvSignature, mode: str) -> tuple[str, str]:
         f"patch {sig.patch_bytes >> 10} KiB")
 
 
+# --------------------------------------------------------------------- #
+# Measured autotuning: time both engines once per signature, persist the
+# winner keyed by host fingerprint.
+# --------------------------------------------------------------------- #
+
+AUTOTUNE_REPEATS = 3                  # best-of-N timing per engine
+AUTOTUNE_MAX_BYTES = 1 << 27          # skip timing above 128 MiB of input:
+#                                       a single probe would thrash memory,
+#                                       and the heuristic is reliable there
+
+_AUTOTUNE_LOCK = threading.Lock()     # guards the table (held briefly)
+_MEASURE_LOCK = threading.Lock()      # serializes engine timing only:
+#                                       concurrent probes would perturb
+#                                       each other's measurements, but
+#                                       table lookups for already-known
+#                                       signatures must never wait on a
+#                                       seconds-long timing run
+_autotune_path: Path | None = None    # None: env var / default location
+_autotune_host: dict[str, dict] | None = None  # this host's decisions
+_autotune_dirty = False
+
+
+def host_fingerprint() -> str:
+    """Stable identity of the timing environment.
+
+    Measured winners transfer between runs on the same machine but not
+    between machines, so the persisted table is partitioned by a digest
+    of the performance-relevant host facts.
+    """
+    import hashlib
+
+    facts = (platform.machine(), platform.system(), platform.processor(),
+             str(os.cpu_count()), platform.python_version(),
+             np.__version__)
+    return hashlib.sha1("|".join(facts).encode()).hexdigest()[:12]
+
+
+def autotune_cache_path() -> Path:
+    """Where the measured decision table lives on disk."""
+    if _autotune_path is not None:
+        return _autotune_path
+    env = os.environ.get("REPRO_AUTOTUNE_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "conv_autotune.json"
+
+
+def set_autotune_cache_path(path: str | os.PathLike | None) -> None:
+    """Override the persisted-table location (None restores the default).
+
+    Dropping the in-memory table forces a reload from the new location;
+    memoized plans may still reference old decisions, so the plan cache
+    is cleared too.
+    """
+    global _autotune_path, _autotune_host, _autotune_dirty
+    with _AUTOTUNE_LOCK:
+        _autotune_path = None if path is None else Path(path)
+        _autotune_host = None
+        _autotune_dirty = False
+    clear_plan_cache()
+
+
+def _load_host_table() -> dict[str, dict]:
+    """This host's slice of the persisted table (caller holds the lock)."""
+    global _autotune_host
+    if _autotune_host is None:
+        table: dict[str, dict] = {}
+        path = autotune_cache_path()
+        try:
+            data = json.loads(path.read_text())
+            table = data.get("hosts", {}).get(host_fingerprint(), {})
+            if not isinstance(table, dict):  # pragma: no cover - corrupt
+                table = {}
+        except (OSError, ValueError):
+            table = {}
+        _autotune_host = table
+    return _autotune_host
+
+
+def save_autotune_table() -> Path | None:
+    """Persist pending measured decisions (atomic write); returns the
+    path written, or None when nothing changed."""
+    global _autotune_dirty
+    with _AUTOTUNE_LOCK:
+        if not _autotune_dirty or _autotune_host is None:
+            return None
+        path = autotune_cache_path()
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict):  # pragma: no cover - corrupt
+                data = {}
+        except (OSError, ValueError):
+            data = {}
+        hosts = data.setdefault("hosts", {})
+        merged = dict(hosts.get(host_fingerprint(), {}))
+        merged.update(_autotune_host)
+        hosts[host_fingerprint()] = merged
+        data["version"] = 1
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(data, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        _autotune_dirty = False
+        return path
+
+
+def autotune_table() -> dict[str, dict]:
+    """Snapshot of this host's measured decisions (sig key -> record)."""
+    with _AUTOTUNE_LOCK:
+        return dict(_load_host_table())
+
+
+def clear_autotune_table(memory_only: bool = False) -> None:
+    """Drop the in-memory table (and, unless ``memory_only``, the file).
+
+    ``memory_only=True`` simulates a process restart: the next autotuned
+    plan reloads the persisted table from disk.
+    """
+    global _autotune_host, _autotune_dirty
+    with _AUTOTUNE_LOCK:
+        _autotune_host = None
+        _autotune_dirty = False
+        if not memory_only:
+            try:
+                autotune_cache_path().unlink()
+            except OSError:
+                pass
+    clear_plan_cache()
+
+
+def _sig_key(sig: ConvSignature) -> str:
+    return (f"x{sig.x_shape}w{sig.w_shape}"
+            f"s{sig.stride}p{sig.padding}{sig.dtype}")
+
+
+def _time_engines(sig: ConvSignature) -> dict[str, float]:
+    """Best-of-N wall times of both engines, both directions.
+
+    Forward and backward are timed separately because the plan serves
+    both: a forward win (e.g. im2col's single fat GEMM) can coexist with
+    a backward loss (its col2im scatter), and training epochs are
+    backward-heavy while serving never runs one.
+    """
+    rng = np.random.default_rng(0)
+    dtype = np.dtype(sig.dtype)
+    n, cin = sig.x_shape[:2]
+    cout = sig.w_shape[0]
+    xp = rng.standard_normal((n, cin) + sig.padded_spatial).astype(dtype)
+    w = rng.standard_normal(sig.w_shape).astype(dtype)
+    out_spatial = sig.out_spatial
+    gmoved = rng.standard_normal((n,) + out_spatial + (cout,)).astype(dtype)
+
+    def best(run) -> float:
+        run()                                           # warm-up
+        t = math.inf
+        for _ in range(AUTOTUNE_REPEATS):
+            t0 = time.perf_counter()
+            run()
+            t = min(t, time.perf_counter() - t0)
+        return t
+
+    return {
+        "fwd_tensordot": best(
+            lambda: _forward_tensordot(xp, w, sig.stride, out_spatial)),
+        "fwd_im2col": best(
+            lambda: _forward_im2col(xp, w, sig.stride, out_spatial)),
+        "bwd_tensordot": best(
+            lambda: _backward_tensordot(xp, w, gmoved, sig.stride,
+                                        out_spatial)),
+        "bwd_im2col": best(
+            lambda: _backward_im2col(xp, w, gmoved, sig.stride,
+                                     out_spatial)),
+    }
+
+
+def _decide_autotune(sig: ConvSignature) -> tuple[str, str, str | None]:
+    key = _sig_key(sig)
+    with _AUTOTUNE_LOCK:
+        rec = _load_host_table().get(key)
+    if rec is None:
+        rec = _measure_signature(sig, key)
+    if rec.get("measured"):
+        t = rec["times"]
+        reason = (
+            f"autotuned: fwd td {t['fwd_tensordot'] * 1e3:.2f} / i2c "
+            f"{t['fwd_im2col'] * 1e3:.2f} ms, bwd td "
+            f"{t['bwd_tensordot'] * 1e3:.2f} / i2c "
+            f"{t['bwd_im2col'] * 1e3:.2f} ms")
+        return rec["path"], reason, rec.get("backward_path")
+    return rec["path"], f"autotune fallback: {rec['reason']}", None
+
+
+def _measure_signature(sig: ConvSignature, key: str) -> dict:
+    global _autotune_dirty
+    heuristic_path, heuristic_reason = _decide(sig, "auto")
+    input_bytes = (math.prod(sig.x_shape[:2]) * math.prod(sig.padded_spatial)
+                   * np.dtype(sig.dtype).itemsize)
+    if sig.taps == 1 or input_bytes > AUTOTUNE_MAX_BYTES \
+            or sig.patch_bytes > IM2COL_MAX_PATCH_BYTES:
+        # Not worth (or not safe) to probe: trust the heuristic, but
+        # record the decision so restarts skip this signature too.
+        rec = {"path": heuristic_path, "measured": False,
+               "reason": heuristic_reason}
+    else:
+        with _MEASURE_LOCK:
+            # Re-check after acquiring: another thread may have finished
+            # measuring this signature while we waited for its probe.
+            with _AUTOTUNE_LOCK:
+                existing = _load_host_table().get(key)
+            if existing is not None:
+                return existing
+            times = _time_engines(sig)
+        rec = {
+            "path": ("im2col" if times["fwd_im2col"]
+                     < times["fwd_tensordot"] else "tensordot"),
+            "backward_path": ("im2col" if times["bwd_im2col"]
+                              < times["bwd_tensordot"]
+                              else "tensordot"),
+            "measured": True, "times": times,
+            "heuristic": heuristic_path,
+        }
+        with _AUTOTUNE_LOCK:
+            rec = _load_host_table().setdefault(key, rec)
+            _autotune_dirty = True
+        save_autotune_table()
+        return rec
+    with _AUTOTUNE_LOCK:
+        table = _load_host_table()
+        rec = table.setdefault(key, rec)
+        _autotune_dirty = True
+    save_autotune_table()
+    return rec
+
+
 def plan_conv(x_shape, w_shape, stride, padding, dtype) -> ConvPlan:
     """Return the (memoized) execution plan for a conv signature."""
     global _cache_hits, _cache_misses
@@ -170,8 +428,13 @@ def plan_conv(x_shape, w_shape, stride, padding, dtype) -> ConvPlan:
             _cache_hits += 1
             return plan
         _cache_misses += 1
-    path, reason = _decide(sig, mode)
-    plan = ConvPlan(signature=sig, path=path, reason=reason)
+    backward_path = None
+    if mode == "autotune":
+        path, reason, backward_path = _decide_autotune(sig)
+    else:
+        path, reason = _decide(sig, mode)
+    plan = ConvPlan(signature=sig, path=path, reason=reason,
+                    backward_path=backward_path)
     with _CACHE_LOCK:
         _PLAN_CACHE[key] = plan
     return plan
@@ -293,6 +556,7 @@ def _backward_im2col(xp, w, gmoved, stride, out_spatial):
 
 def run_conv_backward(plan: ConvPlan, xp, w, gmoved, stride, out_spatial):
     """Execute the planned backward pass; returns ``(dxp, dw)``."""
-    if plan.path == "im2col":
+    path = plan.backward_path or plan.path
+    if path == "im2col":
         return _backward_im2col(xp, w, gmoved, stride, out_spatial)
     return _backward_tensordot(xp, w, gmoved, stride, out_spatial)

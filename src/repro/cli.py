@@ -84,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(multiple of 2**depth)")
     p.add_argument("--halo", type=int, default=None,
                    help="halo width for --tile (default: receptive field)")
+    p.add_argument("--executor", default="serial",
+                   choices=("serial", "thread", "process"),
+                   help="fan tiled inference across this worker pool")
+    p.add_argument("--executor-workers", type=int, default=None,
+                   help="pool size for --executor (default: CPU count)")
+    p.add_argument("--autotune", action="store_true",
+                   help="measured conv autotuning (persisted per host)")
 
     p = sub.add_parser("serve", help="batching/caching prediction server")
     p.add_argument("--checkpoint", action="append", required=True,
@@ -107,6 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="voxel count above which forwards are tiled")
     p.add_argument("--repeat", type=int, default=1,
                    help="replay the request set (>1 exercises the cache)")
+    p.add_argument("--executor", default="serial",
+                   choices=("serial", "thread", "process"),
+                   help="compute layer for the worker fleet (process "
+                        "escapes the GIL for CPU-bound inference)")
+    p.add_argument("--cache-dir", default=None,
+                   help="spill the result cache to this directory "
+                        "(one npz per entry; survives restarts)")
+    p.add_argument("--autotune", action="store_true",
+                   help="measured conv autotuning (persisted per host)")
 
     p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
     p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
@@ -185,9 +201,12 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_predict(args) -> int:
+    from .backend import set_conv_plan_mode
     from .core.metrics import compare_fields
-    from .serve import ModelRegistry, RegistryError, tiled_predict
+    from .serve import ModelRegistry, RegistryError, make_executor, tiled_predict
 
+    if args.autotune:
+        set_conv_plan_mode("autotune")
     registry = ModelRegistry()
     try:
         entry = registry.load("model", args.checkpoint, validate=False)
@@ -196,16 +215,20 @@ def _cmd_predict(args) -> int:
         return 1
     model, problem = entry.model, entry.problem
     resolution = args.resolution or problem.resolution
+    executor = make_executor(args.executor, args.executor_workers)
     try:
         if args.tile is not None or args.halo is not None:
             u = tiled_predict(model, problem, args.omega,
                               resolution=resolution,
-                              tile=args.tile, halo=args.halo)[0]
+                              tile=args.tile, halo=args.halo,
+                              executor=executor)[0]
         else:
             u = model.predict(problem, args.omega, resolution=resolution)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        executor.close()
     print(f"predicted field at {resolution}^{problem.ndim}: "
           f"range [{u.min():.4f}, {u.max():.4f}]")
     if args.compare_fem:
@@ -223,11 +246,14 @@ def _cmd_predict(args) -> int:
 def _cmd_serve(args) -> int:
     import time
 
+    from .backend import set_conv_plan_mode
     from .data.sobol import sample_omega
     from .serve import (
         ModelRegistry, PredictionServer, RegistryError, ServerConfig,
     )
 
+    if args.autotune:
+        set_conv_plan_mode("autotune")
     registry = ModelRegistry()
     try:
         for spec in args.checkpoint:
@@ -242,7 +268,8 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         workers=args.workers, cache_bytes=args.cache_mb * 1024 * 1024,
         backend=args.backend, tile=args.tile,
-        tile_threshold_voxels=args.tile_threshold)
+        tile_threshold_voxels=args.tile_threshold,
+        executor=args.executor, cache_dir=args.cache_dir)
     server = PredictionServer(registry, config)
 
     names = registry.names()
@@ -264,21 +291,27 @@ def _cmd_serve(args) -> int:
                            for name in names for w in loads[name]]
                 for _, f in futures:
                     f.result()
+            # Every future has resolved: measure before the with-block
+            # exit so worker join + pool teardown don't deflate QPS.
+            wall = time.perf_counter() - t0
     except ValueError as exc:
         # Bad request parameters (ω arity, tile/halo alignment, ...).
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    wall = time.perf_counter() - t0
+    finally:
+        server.close()
 
     s, c = server.stats, server.cache.stats
     print(f"served {s.requests} requests in {wall:.3f}s "
-          f"({s.requests / wall:.1f} QPS) with {config.workers} worker(s)")
+          f"({s.requests / wall:.1f} QPS) with {config.workers} "
+          f"{config.executor} worker(s)")
     print(f"latency p50 {s.p50 * 1e3:.2f} ms, p99 {s.p99 * 1e3:.2f} ms; "
           f"{s.batches} batches, mean size {s.mean_batch_size:.2f}, "
-          f"{s.tiled_forwards} tiled forwards")
+          f"{s.tiled_forwards} tiled forwards, {s.dedup_hits} dedup hits")
     print(f"cache: {c.hits} hits / {c.misses} misses "
           f"({100 * c.hit_rate:.0f}%), {c.bytes_cached >> 20} MiB resident, "
-          f"{c.evictions} evictions")
+          f"{c.evictions} evictions, {c.spill_hits} spill hits, "
+          f"{c.spill_writes} spill writes")
     return 0
 
 

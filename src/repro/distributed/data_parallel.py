@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..backend import ops as B
+from ..backend import get_pool, ops as B
 from ..autograd import Tensor
 from ..data.dataloader import BatchSampler, shard_batch
 from ..optim import Adam, SGD
@@ -76,6 +76,11 @@ class DPResult:
     virtual_compute_seconds: float = 0.0
     virtual_comm_seconds: float = 0.0
     steps: int = 0
+    # Buffer-pool accounting (allocation traffic the pool absorbed):
+    # per-epoch recycled bytes, and the pool's high-water mark after the
+    # run — the number to size BufferPool.max_bytes from.
+    pool_bytes_recycled: list[int] = field(default_factory=list)
+    pool_high_water_bytes: int = 0
 
     @property
     def virtual_epoch_seconds(self) -> float:
@@ -147,8 +152,10 @@ class DataParallelTrainer:
         energy = self.problem.energy(resolution, reduction="mean")
         sampler = BatchSampler(len(self.dataset), cfg.batch_size,
                                seed=cfg.seed, shuffle=cfg.shuffle)
+        pool = get_pool()
         start = time.perf_counter()
         for _ in range(n_epochs):
+            recycled_before = pool.stats.bytes_recycled
             epoch_loss, batch_count = 0.0, 0
             for global_idx in sampler.batches(self.global_epoch):
                 loss = self._step(global_idx, inputs, nus, chi_int, u_bc,
@@ -156,10 +163,13 @@ class DataParallelTrainer:
                 epoch_loss += loss
                 batch_count += 1
             result.losses.append(epoch_loss / max(batch_count, 1))
+            result.pool_bytes_recycled.append(
+                pool.stats.bytes_recycled - recycled_before)
             if cfg.sync_batchnorm_stats:
                 self._sync_bn_stats()
             self.global_epoch += 1
         result.measured_wall = time.perf_counter() - start
+        result.pool_high_water_bytes = pool.stats.high_water_bytes
         result.virtual_comm_seconds = self.comm.log.virtual_comm_seconds
         return result
 

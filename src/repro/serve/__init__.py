@@ -26,6 +26,10 @@ Quickstart::
 
 from .batching import MicroBatcher, PredictRequest
 from .cache import CacheStats, LRUCache, quantize_omega, result_key
+from .executor import (
+    EXECUTOR_KINDS, Executor, ProcessExecutor, SerialExecutor,
+    ThreadExecutor, default_workers, make_executor,
+)
 from .registry import ModelEntry, ModelRegistry, RegistryError
 from .server import PredictionServer, ServerConfig, ServerStats
 from .tiling import (
@@ -35,6 +39,8 @@ from .tiling import (
 __all__ = [
     "MicroBatcher", "PredictRequest",
     "CacheStats", "LRUCache", "quantize_omega", "result_key",
+    "EXECUTOR_KINDS", "Executor", "SerialExecutor", "ThreadExecutor",
+    "ProcessExecutor", "default_workers", "make_executor",
     "ModelEntry", "ModelRegistry", "RegistryError",
     "PredictionServer", "ServerConfig", "ServerStats",
     "TilePlan", "plan_tiles", "receptive_halo", "tiled_forward",

@@ -35,6 +35,7 @@ class PredictRequest:
     resolution: int
     future: Any  # concurrent.futures.Future
     enqueued_at: float = field(default_factory=time.perf_counter)
+    key: tuple | None = None  # cache/dedup key, stamped by submit()
 
     def group_key(self) -> tuple:
         """Requests sharing this key may run in one fused forward."""

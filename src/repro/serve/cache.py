@@ -10,17 +10,29 @@ reloaded checkpoint never serves stale fields), the *problem signature*
 The cache is bounded in bytes, not entries: one 3D megavoxel field is
 worth thousands of 2D ones, so counting entries would make the bound
 meaningless across workloads.
+
+**Disk spill** (``spill_dir``): every admitted entry is also written as
+one ``.npz`` file, and a memory miss falls through to disk before
+recomputing — so a server restart keeps its hot set.  File names embed
+the model version and a digest of the full key: a reloaded (retrained)
+checkpoint changes the version, changes every key, and thereby leaves
+stale files unreachable (self-invalidation; ``prune_spill`` deletes the
+orphans of versions no longer served).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["CacheStats", "LRUCache", "quantize_omega", "result_key"]
+__all__ = ["CacheStats", "LRUCache", "quantize_omega", "result_key",
+           "spill_file_name"]
 
 
 def quantize_omega(omega: np.ndarray, step: float = 1e-6) -> tuple[float, ...]:
@@ -39,6 +51,18 @@ def result_key(model_version: str, problem_sig: tuple,
             quantize_omega(omega, step))
 
 
+def spill_file_name(key: tuple) -> str:
+    """Deterministic npz file name for one cache key.
+
+    ``repr`` of the key tuple is stable (shortest-round-trip floats), and
+    the model version prefix keeps stale generations visually — and
+    prunably — distinct.
+    """
+    digest = hashlib.sha1(repr(key).encode()).hexdigest()[:20]
+    version = str(key[0]) if key else "v"
+    return f"{version}-{digest}.npz"
+
+
 @dataclass
 class CacheStats:
     """Cumulative accounting of one :class:`LRUCache`."""
@@ -48,6 +72,8 @@ class CacheStats:
     evictions: int = 0
     bytes_cached: int = 0
     entries: int = 0
+    spill_hits: int = 0
+    spill_writes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -60,10 +86,16 @@ class LRUCache:
 
     Values are NumPy arrays; stored copies are marked read-only so a
     caller mutating a served result cannot corrupt later cache hits.
+    With ``spill_dir`` the cache is two-tiered: memory (byte-bounded LRU)
+    over disk (one npz per entry, unbounded, restart-persistent).
     """
 
-    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024,
+                 spill_dir: str | os.PathLike | None = None) -> None:
         self.max_bytes = int(max_bytes)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self.stats = CacheStats()
@@ -71,21 +103,40 @@ class LRUCache:
     def get(self, key: tuple) -> np.ndarray | None:
         with self._lock:
             value = self._entries.get(key)
-            if value is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+        value = self._load_spilled(key)
+        if value is not None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.spill_hits += 1
+            if value.nbytes <= self.max_bytes:
+                # Promote to memory — same admission rule as put(): an
+                # oversized entry would evict the whole hot set just to
+                # be evicted itself.
+                self._admit(key, value)
             return value
+        with self._lock:
+            self.stats.misses += 1
+        return None
 
     def put(self, key: tuple, value: np.ndarray) -> np.ndarray | None:
         """Admit a result; returns the stored read-only copy, or ``None``
-        when the value exceeds the whole budget (admitting it would just
-        evict everything and then itself be evicted next)."""
-        if value.nbytes > self.max_bytes:
-            return None
-        value = np.ascontiguousarray(value).copy()
-        value.flags.writeable = False
+        when the value exceeds the whole memory budget (admitting it
+        would just evict everything and then itself be evicted next).
+        Oversized values still spill to disk when a spill tier exists."""
+        stored = None
+        if value.nbytes <= self.max_bytes:
+            stored = np.ascontiguousarray(value).copy()
+            stored.flags.writeable = False
+            self._admit(key, stored)
+        self._write_spilled(key, stored if stored is not None else value)
+        return stored
+
+    def _admit(self, key: tuple, value: np.ndarray) -> None:
+        """Insert a read-only array into the memory tier, evicting LRU."""
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
@@ -97,7 +148,60 @@ class LRUCache:
                 self.stats.bytes_cached -= dropped.nbytes
                 self.stats.evictions += 1
             self.stats.entries = len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Disk tier
+    # ------------------------------------------------------------------ #
+    def _spill_path(self, key: tuple) -> Path | None:
+        if self.spill_dir is None:
+            return None
+        return self.spill_dir / spill_file_name(key)
+
+    def _write_spilled(self, key: tuple, value: np.ndarray) -> None:
+        path = self._spill_path(key)
+        if path is None or path.exists():
+            return
+        # Atomic publish: a concurrent reader must never see a torn
+        # file.  The tmp name is writer-unique so two processes/threads
+        # racing on one key cannot interleave writes into a shared tmp.
+        tmp = path.with_suffix(
+            f".{os.getpid()}.{threading.get_ident()}.tmp.npz")
+        try:
+            np.savez(tmp, value=np.ascontiguousarray(value))
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return
+        with self._lock:
+            self.stats.spill_writes += 1
+
+    def _load_spilled(self, key: tuple) -> np.ndarray | None:
+        path = self._spill_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                value = data["value"]
+        except (OSError, ValueError, KeyError):
+            # Torn or foreign file: drop it so it cannot shadow recompute.
+            path.unlink(missing_ok=True)
+            return None
+        value.flags.writeable = False
         return value
+
+    def prune_spill(self, live_versions) -> int:
+        """Delete spilled entries whose model version is no longer served;
+        returns the number of files removed."""
+        if self.spill_dir is None:
+            return 0
+        live = {str(v) for v in live_versions}
+        removed = 0
+        for path in self.spill_dir.glob("*.npz"):
+            version = path.name.rsplit("-", 1)[0]
+            if version not in live:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
 
     def __contains__(self, key: tuple) -> bool:
         with self._lock:

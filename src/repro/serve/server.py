@@ -25,12 +25,19 @@ Front-ends:
   parallelizes inside a fused forward while workers overlap queue wait
   with compute.
 
-Later scaling PRs (multi-process sharding, GPU backends, async IO) plug
-in behind this interface without changing callers.
+Where the *compute* of a fused forward runs is pluggable
+(:mod:`repro.serve.executor`): ``executor='serial'`` keeps it inline on
+the worker thread; ``'thread'`` fans tiled megavoxel forwards across a
+shared thread pool; ``'process'`` escapes the GIL entirely — whole fused
+forwards are dispatched to a process pool (and tiled forwards fan their
+tiles across it), with the worker threads reduced to queueing/stitching
+front-ends.  Identical requests arriving while a twin is queued attach to
+the in-flight future instead of recomputing (``dedup_hits``).
 """
 
 from __future__ import annotations
 
+import pickle
 import queue
 import threading
 import time
@@ -43,12 +50,28 @@ from ..backend import set_backend
 from ..core.inference import predict_batch
 from .batching import MicroBatcher, PredictRequest
 from .cache import LRUCache, result_key
+from .executor import Executor, SerialExecutor, make_executor
 from .registry import ModelEntry, ModelRegistry
 from .tiling import receptive_halo, tiled_predict
 
 __all__ = ["ServerConfig", "ServerStats", "PredictionServer"]
 
 _LAT_WINDOW = 10_000
+
+# Per-process cache of unpickled (model, problem) pairs inside process-
+# pool workers, keyed by registry content version.
+_REMOTE_ENTRY_CACHE: dict[str, tuple] = {}
+
+
+def _predict_batch_remote(payload) -> np.ndarray:
+    """Whole fused forward inside a process-pool worker (must pickle)."""
+    version, blob, omegas, resolution = payload
+    pair = _REMOTE_ENTRY_CACHE.get(version)
+    if pair is None:
+        pair = pickle.loads(blob)
+        _REMOTE_ENTRY_CACHE[version] = pair
+    model, problem = pair
+    return predict_batch(model, problem, omegas, resolution=resolution)
 
 
 @dataclass(frozen=True)
@@ -64,6 +87,8 @@ class ServerConfig:
     tile: int | None = None           # set: force tiling at this tile size
     halo: int | None = None           # None: receptive-field halo
     backend: str | None = None        # backend workers pin (None: inherit)
+    executor: str = "serial"          # compute layer: serial|thread|process
+    cache_dir: str | None = None      # set: spill the LRU to disk (npz)
 
 
 @dataclass
@@ -72,6 +97,7 @@ class ServerStats:
 
     requests: int = 0
     cache_hits: int = 0
+    dedup_hits: int = 0
     batches: int = 0
     batched_requests: int = 0
     tiled_forwards: int = 0
@@ -108,7 +134,8 @@ class PredictionServer:
                  config: ServerConfig | None = None) -> None:
         self.registry = registry
         self.config = config or ServerConfig()
-        self.cache = LRUCache(self.config.cache_bytes)
+        self.cache = LRUCache(self.config.cache_bytes,
+                              spill_dir=self.config.cache_dir)
         self.stats = ServerStats()
         self._batcher = MicroBatcher(self.config.max_batch,
                                      self.config.max_wait_ms)
@@ -116,6 +143,11 @@ class PredictionServer:
         self._stop = threading.Event()
         self._workers: list[threading.Thread] = []
         self._stats_lock = threading.Lock()
+        self._inflight: dict[tuple, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._executor: Executor | None = None
+        self._executor_lock = threading.Lock()
+        self._payload_blobs: dict[str, bytes] = {}  # entry version -> pickle
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -124,10 +156,24 @@ class PredictionServer:
     def running(self) -> bool:
         return bool(self._workers)
 
+    @property
+    def executor(self) -> Executor:
+        """The compute executor (created lazily from the config)."""
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = make_executor(
+                    self.config.executor, self.config.workers,
+                    backend=self.config.backend)
+            return self._executor
+
     def start(self) -> "PredictionServer":
         """Spawn the worker-thread pool (idempotent)."""
         if self.running:
             return self
+        # Materialize the executor before the worker threads exist: a
+        # fork-based process pool must not be created from a process
+        # already running compute threads (locks may be held mid-fork).
+        self.executor.warm()
         self._stop.clear()
         for i in range(max(1, self.config.workers)):
             t = threading.Thread(target=self._worker_loop,
@@ -137,7 +183,13 @@ class PredictionServer:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the workers; with ``drain`` pending requests finish first."""
+        """Stop the workers; with ``drain`` pending requests finish first.
+
+        The compute executor survives a stop so explicit
+        ``stop()``/``start()`` cycles stay cheap; :meth:`close` (and the
+        context-manager exit) tears it down.  A closed server remains
+        usable — the executor is rebuilt lazily on the next use.
+        """
         if not self.running:
             return
         if drain:
@@ -146,12 +198,29 @@ class PredictionServer:
         for t in self._workers:
             t.join()
         self._workers.clear()
+        # Undrained stop abandons queued requests: purge their in-flight
+        # entries so a later identical submit computes fresh instead of
+        # attaching to a future no worker will ever resolve.
+        with self._inflight_lock:
+            for key in [k for k, f in self._inflight.items()
+                        if not f.done()]:
+                del self._inflight[key]
+
+    def close(self) -> None:
+        """Stop the fleet and release the compute executor's workers."""
+        self.stop()
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
 
     def __enter__(self) -> "PredictionServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        # Full teardown: leaving a `with` block must not leak a live
+        # process pool.  Later calls lazily rebuild the executor.
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Front-ends
@@ -186,8 +255,19 @@ class PredictionServer:
             future.set_result(cached)
             return future
 
+        # In-flight dedup: a twin already queued (or computing) resolves
+        # this request too — attach instead of recomputing.
+        with self._inflight_lock:
+            twin = self._inflight.get(key)
+            if twin is None:
+                self._inflight[key] = future
+        if twin is not None:
+            with self._stats_lock:
+                self.stats.dedup_hits += 1
+            return twin
+
         request = PredictRequest(model_name=model_name, omega=omega,
-                                 resolution=r, future=future)
+                                 resolution=r, future=future, key=key)
         if self.running:
             self._queue.put(request)
         else:
@@ -229,12 +309,19 @@ class PredictionServer:
                         with self._stats_lock:
                             self.stats.errors += len(group)
                         for req in group:
+                            self._drop_inflight(req)
                             req.future.set_exception(exc)
                         continue
                     self._process_group(entry, group)
             finally:
                 for _ in batch:
                     self._queue.task_done()
+
+    def _drop_inflight(self, req: PredictRequest) -> None:
+        if req.key is None:
+            return
+        with self._inflight_lock:
+            self._inflight.pop(req.key, None)
 
     def _process_group(self, entry: ModelEntry,
                        group: list[PredictRequest]) -> None:
@@ -247,6 +334,7 @@ class PredictionServer:
             with self._stats_lock:
                 self.stats.errors += len(group)
             for req in group:
+                self._drop_inflight(req)
                 req.future.set_exception(exc)
             return
         now = time.perf_counter()
@@ -256,29 +344,53 @@ class PredictionServer:
             for req in group:
                 self.stats.observe_latency(now - req.enqueued_at)
         for req, u in zip(group, fields):
-            stored = self.cache.put(self._key(entry, req.omega, r), u)
+            key = req.key if req.key is not None \
+                else self._key(entry, req.omega, r)
+            stored = self.cache.put(key, u)
             if stored is None:
                 # Not admitted (cache disabled / oversized field): keep
                 # the served-results-are-immutable contract anyway so
                 # callers behave identically on miss and replay.
                 u.flags.writeable = False
                 stored = u
+            # Fill the cache before dropping the in-flight entry: a twin
+            # arriving in between hits one of the two, never neither.
+            self._drop_inflight(req)
             req.future.set_result(stored)
 
     def _forward(self, entry: ModelEntry, omegas: np.ndarray,
                  resolution: int) -> np.ndarray:
         """Fused forward — tiled when the grid exceeds the threshold, or
-        always when an explicit tile size is configured."""
+        always when an explicit tile size is configured.  The configured
+        executor decides where the compute lands: tiled forwards fan
+        their tiles across it; whole forwards are shipped to a process
+        pool when one is configured."""
         voxels = resolution ** entry.problem.ndim
         if (self.config.tile is not None
                 or voxels > self.config.tile_threshold_voxels):
             with self._stats_lock:
                 self.stats.tiled_forwards += 1
             tile, halo = self._tile_params(entry, resolution)
+            executor = self.executor
             return tiled_predict(entry.model, entry.problem, omegas,
-                                 resolution=resolution, tile=tile, halo=halo)
+                                 resolution=resolution, tile=tile, halo=halo,
+                                 executor=executor)
+        executor = self.executor
+        if executor.kind == "process":
+            payload = (entry.version, self._entry_blob(entry),
+                       omegas, resolution)
+            return executor.map(_predict_batch_remote, [payload])[0]
         return predict_batch(entry.model, entry.problem, omegas,
                              resolution=resolution)
+
+    def _entry_blob(self, entry: ModelEntry) -> bytes:
+        """Pickled (model, problem) for process workers, cached per
+        content version so repeated requests reuse one serialization."""
+        blob = self._payload_blobs.get(entry.version)
+        if blob is None:
+            blob = pickle.dumps((entry.model, entry.problem))
+            self._payload_blobs[entry.version] = blob
+        return blob
 
     def _tile_params(self, entry: ModelEntry,
                      resolution: int) -> tuple[int, int]:

@@ -23,11 +23,25 @@ approximate.
 Tile scratch buffers come from the active backend's :class:`BufferPool`,
 so a long-running server recycles the same few tile allocations instead
 of churning the allocator.
+
+Tiles are *independent* (disjoint cores, read-only input), so the loop
+over them is embarrassingly parallel: pass an
+:class:`~repro.serve.executor.Executor` to fan tiles across a thread or
+process pool.  Thread workers share the model and the (thread-safe)
+buffer pool; process workers receive the pickled network bytes with each
+task but *unpickle* it only once per model version (per-process cache) —
+the models are small, it is the fields that are megavoxel — and each
+child owns its own backend and pool (re-initialised by the executor's
+worker init).  Tasks go out in bounded waves and results are stitched in
+plan order on the caller, so memory stays bounded and the output is
+deterministic and bitwise equal to the sequential path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
@@ -105,52 +119,126 @@ def plan_tiles(shape: tuple[int, ...], tile: int, halo: int,
                     multiple=multiple, blocks=blocks)
 
 
+def _padded_block(x: np.ndarray, block, halo: int):
+    """Halo-padded view of one tile plus the core slices into it."""
+    padded = x
+    offsets = []
+    for d, (start, stop) in enumerate(block):
+        padded, off = extract_padded_block(
+            padded, axis=2 + d, start=start, stop=stop, halo=halo)
+        offsets.append(off)
+    core_src = tuple(
+        slice(off, off + (stop - start))
+        for off, (start, stop) in zip(offsets, block))
+    return padded, core_src
+
+
+def _forward_tile(net, buf: np.ndarray, core_src) -> np.ndarray:
+    """One padded-tile forward; returns a fresh copy of the core region."""
+    with no_grad():
+        y = net(Tensor(buf)).data
+    return y[(slice(None), slice(None)) + core_src].copy()
+
+
+# Per-process cache of unpickled networks, keyed by content digest.  Only
+# populated inside ProcessExecutor workers; entries are tiny (the models
+# are small — it is the *fields* that are megavoxel).
+_PROC_NET_CACHE: dict[str, object] = {}
+
+
+def _net_from_blob(version: str, blob: bytes):
+    net = _PROC_NET_CACHE.get(version)
+    if net is None:
+        net = pickle.loads(blob)
+        _PROC_NET_CACHE[version] = net
+    return net
+
+
+def _run_tile_task(task) -> np.ndarray:
+    """Module-level tile task for process executors (must pickle)."""
+    version, blob, buf, core_src = task
+    return _forward_tile(_net_from_blob(version, blob), buf, core_src)
+
+
 def tiled_forward(net, x: np.ndarray, plan: TilePlan,
-                  out_channels: int = 1) -> np.ndarray:
+                  out_channels: int = 1, executor=None) -> np.ndarray:
     """Run ``net`` (a spatially local module in eval mode) over halo-padded
     tiles of ``x`` (shape (N, C, *spatial)) and stitch the full output.
 
     The caller is responsible for eval mode; this function only manages
-    tiling, scratch buffers and stitching.
+    tiling, scratch buffers, stitching and — when ``executor`` is a
+    parallel :class:`~repro.serve.executor.Executor` — the fan-out of
+    independent tiles across its workers.
     """
     if x.shape[2:] != plan.shape:
         raise ValueError(
             f"input spatial shape {x.shape[2:]} != plan shape {plan.shape}")
-    pool = get_pool()
     out = np.empty((x.shape[0], out_channels) + plan.shape, dtype=x.dtype)
-    for block in plan.blocks:
-        padded = x
-        offsets = []
-        for d, (start, stop) in enumerate(block):
-            padded, off = extract_padded_block(
-                padded, axis=2 + d, start=start, stop=stop, halo=plan.halo)
-            offsets.append(off)
-        # Pooled contiguous scratch: the slicing above yields a view.
-        buf = pool.acquire(padded.shape, dtype=padded.dtype)
-        np.copyto(buf, padded)
-        try:
-            with no_grad():
-                y = net(Tensor(buf)).data
-        finally:
-            pool.release(buf)
-        core_src = tuple(
-            slice(off, off + (stop - start))
-            for off, (start, stop) in zip(offsets, block))
-        core_dst = tuple(slice(start, stop) for start, stop in block)
-        out[(slice(None), slice(None)) + core_dst] = \
-            y[(slice(None), slice(None)) + core_src]
+    kind = getattr(executor, "kind", "serial")
+    parallel = (executor is not None and kind != "serial"
+                and executor.workers > 1 and plan.num_tiles > 1)
+    core_dsts = [tuple(slice(start, stop) for start, stop in block)
+                 for block in plan.blocks]
+
+    if not parallel:
+        pool = get_pool()
+        for block, core_dst in zip(plan.blocks, core_dsts):
+            padded, core_src = _padded_block(x, block, plan.halo)
+            # Pooled contiguous scratch: the slicing above yields a view.
+            buf = pool.acquire(padded.shape, dtype=padded.dtype)
+            np.copyto(buf, padded)
+            try:
+                core = _forward_tile(net, buf, core_src)
+            finally:
+                pool.release(buf)
+            out[(slice(None), slice(None)) + core_dst] = core
+    elif kind == "process":
+        blob = pickle.dumps(net)
+        version = hashlib.sha1(blob).hexdigest()[:12]
+        # Dispatch in bounded waves so the parent never materializes
+        # contiguous copies of every padded tile at once — per wave it
+        # holds ~2 tiles per worker, preserving the bounded-memory point
+        # of tiling on exactly the megavoxel grids it exists for.
+        wave = max(1, 2 * executor.workers)
+        for w0 in range(0, plan.num_tiles, wave):
+            tasks = []
+            for block in plan.blocks[w0:w0 + wave]:
+                padded, core_src = _padded_block(x, block, plan.halo)
+                # Contiguous copy: a view pickles its whole base.
+                tasks.append((version, blob,
+                              np.ascontiguousarray(padded), core_src))
+            cores = executor.map(_run_tile_task, tasks)
+            for core_dst, core in zip(core_dsts[w0:w0 + wave], cores):
+                out[(slice(None), slice(None)) + core_dst] = core
+    else:  # thread executor: share the model, pool scratch per task
+
+        def run(block) -> np.ndarray:
+            padded, core_src = _padded_block(x, block, plan.halo)
+            pool = get_pool()
+            buf = pool.acquire(padded.shape, dtype=padded.dtype)
+            np.copyto(buf, padded)
+            try:
+                return _forward_tile(net, buf, core_src)
+            finally:
+                pool.release(buf)
+
+        cores = executor.map(run, plan.blocks)
+        for core_dst, core in zip(core_dsts, cores):
+            out[(slice(None), slice(None)) + core_dst] = core
     return out
 
 
 def tiled_predict(model, problem, omegas: np.ndarray,
                   resolution: int | None = None, tile: int | None = None,
-                  halo: int | None = None) -> np.ndarray:
+                  halo: int | None = None, executor=None) -> np.ndarray:
     """Tiled counterpart of :func:`repro.core.inference.predict_batch`.
 
     Produces the same ``(B, *grid.shape)`` full-field predictions, but
     never materializes activations for more than one ``tile + 2*halo``
-    block at a time.  With the default (receptive-field) halo the result
-    matches the single-pass forward to float roundoff.
+    block at a time (per worker).  With the default (receptive-field)
+    halo the result matches the single-pass forward to float roundoff.
+    ``executor`` fans independent tiles across a worker pool; the
+    stitched field is identical to the sequential result.
     """
     log_nu, chi_int, u_bc = prepare_batch_inputs(problem, omegas, resolution)
     shape = log_nu.shape[2:]
@@ -166,7 +254,8 @@ def tiled_predict(model, problem, omegas: np.ndarray,
     was_training = model.training
     model.eval()
     try:
-        u_net = tiled_forward(net, log_nu, plan, out_channels=1)
+        u_net = tiled_forward(net, log_nu, plan, out_channels=1,
+                              executor=executor)
     finally:
         model.train(was_training)
 

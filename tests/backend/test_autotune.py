@@ -1,0 +1,175 @@
+"""Measured conv autotuning: determinism, persistence, fallbacks."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.backend.conv_plan as cp
+from repro.backend import (
+    autotune_cache_path, autotune_table, clear_autotune_table,
+    clear_plan_cache, host_fingerprint, plan_conv, set_autotune_cache_path,
+    set_conv_plan_mode,
+)
+
+SIG = dict(x_shape=(2, 8, 16, 16), w_shape=(8, 8, 3, 3),
+           stride=(1, 1), padding=(1, 1), dtype=np.float32)
+
+
+@pytest.fixture
+def autotune_env(tmp_path):
+    """Isolated autotune table + mode, restored afterwards."""
+    set_autotune_cache_path(tmp_path / "tune.json")
+    set_conv_plan_mode("autotune")
+    clear_plan_cache()
+    yield tmp_path / "tune.json"
+    set_conv_plan_mode("auto")
+    set_autotune_cache_path(None)
+    clear_plan_cache()
+
+
+def _plan():
+    return plan_conv(SIG["x_shape"], SIG["w_shape"], SIG["stride"],
+                     SIG["padding"], SIG["dtype"])
+
+
+class TestMeasurement:
+    def test_measured_decision_and_reason(self, autotune_env):
+        plan = _plan()
+        assert plan.path in ("im2col", "tensordot")
+        assert plan.backward_path in ("im2col", "tensordot")
+        assert "autotuned" in plan.reason
+
+    def test_table_persisted_under_host_fingerprint(self, autotune_env):
+        _plan()
+        data = json.loads(autotune_env.read_text())
+        assert host_fingerprint() in data["hosts"]
+        (rec,) = data["hosts"][host_fingerprint()].values()
+        assert rec["measured"] is True
+        assert set(rec["times"]) == {"fwd_tensordot", "fwd_im2col",
+                                     "bwd_tensordot", "bwd_im2col"}
+
+    def test_second_plan_does_not_remeasure(self, autotune_env,
+                                            monkeypatch):
+        first = _plan()
+        clear_plan_cache()
+        monkeypatch.setattr(cp, "_time_engines", _boom)
+        second = _plan()
+        assert (second.path, second.backward_path) == \
+            (first.path, first.backward_path)
+
+    def test_winner_matches_recorded_times(self, autotune_env):
+        plan = _plan()
+        (rec,) = autotune_table().values()
+        t = rec["times"]
+        fwd = "im2col" if t["fwd_im2col"] < t["fwd_tensordot"] \
+            else "tensordot"
+        bwd = "im2col" if t["bwd_im2col"] < t["bwd_tensordot"] \
+            else "tensordot"
+        assert (plan.path, plan.backward_path) == (fwd, bwd)
+
+
+def _boom(sig):
+    raise AssertionError("signature was re-measured")
+
+
+class TestPersistence:
+    def test_table_survives_simulated_restart(self, autotune_env,
+                                              monkeypatch):
+        first = _plan()
+        # Drop every in-memory trace; the persisted file must answer.
+        clear_autotune_table(memory_only=True)
+        monkeypatch.setattr(cp, "_time_engines", _boom)
+        again = _plan()
+        assert again.path == first.path
+        assert again.backward_path == first.backward_path
+
+    def test_table_survives_real_process_restart(self, tmp_path):
+        table = tmp_path / "tune.json"
+        snippet = (
+            "import numpy as np\n"
+            "from repro.backend import set_conv_plan_mode, plan_conv\n"
+            "import repro.backend.conv_plan as cp\n"
+            "set_conv_plan_mode('autotune')\n"
+            "if %r:\n"
+            "    cp._time_engines = lambda sig: (_ for _ in ())"
+            ".throw(SystemExit('re-measured after restart'))\n"
+            "p = plan_conv((2, 8, 16, 16), (8, 8, 3, 3), (1, 1), (1, 1),"
+            " np.float32)\n"
+            "print(p.path, p.backward_path)\n")
+        env = {"REPRO_AUTOTUNE_CACHE": str(table), "PYTHONPATH": "src"}
+        first = _run_snippet(snippet % False, env)
+        assert table.exists()
+        second = _run_snippet(snippet % True, env)
+        assert first == second
+
+    def test_set_path_switches_tables(self, autotune_env, tmp_path):
+        _plan()
+        assert len(autotune_table()) == 1
+        set_autotune_cache_path(tmp_path / "other.json")
+        assert autotune_table() == {}
+        assert autotune_cache_path() == tmp_path / "other.json"
+
+    def test_corrupt_table_ignored(self, autotune_env):
+        autotune_env.write_text("{not json")
+        plan = _plan()
+        assert plan.path in ("im2col", "tensordot")
+        # The rewrite repairs the file.
+        json.loads(autotune_env.read_text())
+
+
+def _run_snippet(code: str, env: dict) -> str:
+    import os
+
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        env={**os.environ, **env}, cwd=Path(__file__).parents[2],
+        timeout=300)
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+class TestFallbacks:
+    def test_1x1_kernel_not_measured(self, autotune_env, monkeypatch):
+        monkeypatch.setattr(cp, "_time_engines", _boom)
+        plan = plan_conv((2, 8, 16, 16), (4, 8, 1, 1), (1, 1), (0, 0),
+                         np.float32)
+        assert plan.path == "tensordot"
+        assert "fallback" in plan.reason
+        # Recorded anyway so restarts skip it too.
+        assert len(autotune_table()) == 1
+
+    def test_huge_signature_not_measured(self, autotune_env, monkeypatch):
+        monkeypatch.setattr(cp, "_time_engines", _boom)
+        plan = plan_conv((64, 64, 512, 512), (64, 64, 3, 3), (1, 1),
+                         (1, 1), np.float32)
+        assert plan.path in ("im2col", "tensordot")
+        assert "fallback" in plan.reason
+
+    def test_forced_modes_keep_single_path(self, autotune_env):
+        set_conv_plan_mode("im2col")
+        plan = _plan()
+        assert plan.path == "im2col" and plan.backward_path is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            set_conv_plan_mode("fastest")
+
+
+class TestParity:
+    """Whatever the autotuner picks must stay numerically correct."""
+
+    def test_forward_backward_parity_across_paths(self, autotune_env):
+        from repro.autograd import Tensor, conv_nd
+        from repro.autograd.gradcheck import gradcheck
+
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)), requires_grad=True,
+                   dtype=np.float64)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)) * 0.1,
+                   requires_grad=True, dtype=np.float64)
+        assert gradcheck(lambda a, b: conv_nd(a, b, stride=1, padding=1),
+                         (x, w))

@@ -179,6 +179,105 @@ class TestWorkerFrontend:
                 future.result(timeout=30)
         assert server.stats.errors == 1
 
+    def test_in_flight_dedup_attaches_to_twin(self, served):
+        """Identical requests queued behind a slow twin share one future
+        and one compute."""
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+        forward = server._forward
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_forward(entry, omegas, resolution):
+            started.set()
+            release.wait(timeout=30)
+            return forward(entry, omegas, resolution)
+
+        server._forward = slow_forward
+        omega = RNG.uniform(-3, 3, 4)
+        try:
+            with server:
+                first = server.submit("m", omega)
+                assert started.wait(timeout=30)
+                twins = [server.submit("m", omega) for _ in range(3)]
+                release.set()
+                results = [f.result(timeout=30) for f in [first] + twins]
+        finally:
+            release.set()
+        assert all(f is first for f in twins)
+        assert server.stats.dedup_hits == 3
+        for u in results[1:]:
+            np.testing.assert_array_equal(u, results[0])
+        # Exactly one forward computed all four requests.
+        assert server.stats.batched_requests == 1
+        assert not server._inflight
+
+    def test_distinct_omegas_not_deduped(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(cache_bytes=0))
+        a = server.submit("m", RNG.uniform(-3, 3, 4))
+        b = server.submit("m", RNG.uniform(-3, 3, 4))
+        assert a is not b
+        assert server.stats.dedup_hits == 0
+
+    def test_inflight_cleared_after_error(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(cache_bytes=0))
+        with pytest.raises(ValueError):
+            server.predict("m", np.zeros(4), resolution=7)
+        assert not server._inflight
+        # A retry is a fresh computation, not an attach to a dead future.
+        with pytest.raises(ValueError):
+            server.predict("m", np.zeros(4), resolution=7)
+        assert server.stats.dedup_hits == 0
+        assert server.stats.errors == 2
+
+    def test_undrained_stop_releases_inflight_keys(self, served):
+        """A request abandoned by stop(drain=False) must not leave its
+        dedup key behind — a later identical submit would attach to a
+        future no worker will ever resolve."""
+        model, problem, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+        omega = RNG.uniform(-3, 3, 4)
+        key = server._key(registry.get("m"), omega, 16)
+        server.start()
+        server._inflight[key] = Future()  # an abandoned queued twin
+        server.stop(drain=False)
+        assert key not in server._inflight
+        # The retry computes fresh on the sync path instead of hanging.
+        u = server.predict("m", omega)
+        ref = predict_batch(model, problem, omega)[0]
+        np.testing.assert_allclose(u, ref, atol=1e-6)
+        server.close()
+
+    def test_quantized_twins_dedup(self, served):
+        """Dedup uses the cache key, so ω within the quantization step
+        attach to each other exactly like cache hits would."""
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+        release = threading.Event()
+        forward = server._forward
+
+        def slow_forward(entry, omegas, resolution):
+            release.wait(timeout=30)
+            return forward(entry, omegas, resolution)
+
+        server._forward = slow_forward
+        omega = RNG.uniform(-3, 3, 4)
+        try:
+            with server:
+                first = server.submit("m", omega)
+                twin = server.submit("m", omega + 1e-8)
+                release.set()
+                first.result(timeout=30)
+        finally:
+            release.set()
+        assert twin is first
+        assert server.stats.dedup_hits == 1
+
     def test_tiled_path_engages_above_threshold(self, served):
         model, problem, registry = served
         omegas = RNG.uniform(-3, 3, size=(3, 4))

@@ -90,3 +90,94 @@ class TestLRU:
         cache.put(("k",), _field(1.0))
         cache.clear()
         assert len(cache) == 0 and cache.stats.bytes_cached == 0
+
+
+class TestSpill:
+    """Disk tier: persistence across 'restarts', self-invalidation."""
+
+    def test_put_writes_one_npz_per_entry(self, tmp_path):
+        cache = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        cache.put(("v1", "a"), _field(1.0))
+        cache.put(("v1", "b"), _field(2.0))
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        assert cache.stats.spill_writes == 2
+
+    def test_reload_after_restart(self, tmp_path):
+        LRUCache(max_bytes=1 << 20, spill_dir=tmp_path).put(
+            ("v1", "a"), _field(3.0))
+        fresh = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        got = fresh.get(("v1", "a"))
+        np.testing.assert_array_equal(got, _field(3.0))
+        assert fresh.stats.spill_hits == 1
+        assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+        # Promoted to memory: the second get never touches disk.
+        fresh.get(("v1", "a"))
+        assert fresh.stats.spill_hits == 1 and fresh.stats.hits == 2
+
+    def test_spilled_fields_read_only(self, tmp_path):
+        LRUCache(max_bytes=1 << 20, spill_dir=tmp_path).put(
+            ("v1", "a"), _field(1.0))
+        got = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path).get(
+            ("v1", "a"))
+        with pytest.raises(ValueError):
+            got[0, 0] = 9.0
+
+    def test_version_keys_do_not_collide(self, tmp_path):
+        cache = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        cache.put(("v1", "a"), _field(1.0))
+        cache.put(("v2", "a"), _field(2.0))
+        fresh = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        np.testing.assert_array_equal(fresh.get(("v1", "a")), _field(1.0))
+        np.testing.assert_array_equal(fresh.get(("v2", "a")), _field(2.0))
+
+    def test_stale_version_unreachable_and_prunable(self, tmp_path):
+        cache = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        cache.put(("v1", "a"), _field(1.0))
+        cache.put(("v2", "a"), _field(2.0))
+        fresh = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        assert fresh.prune_spill(live_versions=["v2"]) == 1
+        assert fresh.get(("v1", "a")) is None
+        np.testing.assert_array_equal(fresh.get(("v2", "a")), _field(2.0))
+
+    def test_eviction_from_memory_keeps_disk_copy(self, tmp_path):
+        field = _field(1.0)
+        cache = LRUCache(max_bytes=field.nbytes, spill_dir=tmp_path)
+        cache.put(("v1", "a"), field)
+        cache.put(("v1", "b"), _field(2.0))      # evicts 'a' from memory
+        assert cache.stats.evictions == 1
+        np.testing.assert_array_equal(cache.get(("v1", "a")), _field(1.0))
+        assert cache.stats.spill_hits == 1
+
+    def test_oversized_entry_spills_but_not_admitted(self, tmp_path):
+        cache = LRUCache(max_bytes=8, spill_dir=tmp_path)
+        assert cache.put(("v1", "big"), _field(1.0)) is None
+        assert len(cache) == 0
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_oversized_spill_hit_does_not_thrash_memory(self, tmp_path):
+        small = _field(1.0, n=4)
+        cache = LRUCache(max_bytes=small.nbytes, spill_dir=tmp_path)
+        cache.put(("v1", "small"), small)
+        cache.put(("v1", "big"), _field(2.0, n=32))   # spill-only
+        # Reading the oversized entry serves from disk without evicting
+        # the resident hot set.
+        np.testing.assert_array_equal(cache.get(("v1", "big")),
+                                      _field(2.0, n=32))
+        assert cache.stats.evictions == 0
+        np.testing.assert_array_equal(cache.get(("v1", "small")), small)
+        assert cache.stats.hits == 2
+
+    def test_corrupt_spill_file_treated_as_miss(self, tmp_path):
+        from repro.serve.cache import spill_file_name
+
+        cache = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        path = tmp_path / spill_file_name(("v1", "a"))
+        path.write_bytes(b"not an npz")
+        assert cache.get(("v1", "a")) is None
+        assert not path.exists()        # dropped so it cannot shadow
+
+    def test_no_spill_dir_means_memory_only(self, tmp_path):
+        cache = LRUCache(max_bytes=1 << 20)
+        cache.put(("v1", "a"), _field(1.0))
+        assert cache.stats.spill_writes == 0
+        assert cache.spill_dir is None
