@@ -1,0 +1,217 @@
+"""ASYNC SERVE — priority lanes under mixed load, async vs sync throughput.
+
+The async front-end's value claim (ROADMAP "Async/streaming front-end")
+is twofold: (1) under a saturated mixed-priority load, high-priority
+requests jump the queue, so their tail latency stays a small multiple of
+one batch time while bulk traffic absorbs the queueing delay; (2) the
+scheduling layer costs nothing when it isn't discriminating — overall
+QPS through the asyncio facade stays within 10% of the plain sync
+worker-thread server on the identical workload.
+
+Both claims are gated: the benchmark exits nonzero if the high-priority
+p99 is not strictly below the low-priority p99, or if async QPS falls
+below ``MIN_QPS_RATIO`` x sync QPS.  ``--json`` writes
+``BENCH_async_serve.json`` for CI (uploaded by the async-serve-smoke
+job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.data.sobol import sample_omega
+from repro.serve import (
+    AsyncPredictionServer, ModelRegistry, PredictionServer, ServerConfig,
+)
+
+try:
+    from .common import bench_cli, report
+except ImportError:  # standalone execution
+    from common import bench_cli, report
+
+RESOLUTION = 16
+BASE_FILTERS = 8
+DEPTH = 3          # deep enough that one fused forward takes real time,
+                   # so a saturated queue is where latency accrues
+N_REQUESTS = 96
+HIGH_EVERY = 4     # every 4th request is high-priority (25% of load)
+HIGH_PRIORITY = 5
+MAX_BATCH = 8
+MAX_WAIT_MS = 2.0
+MIN_QPS_RATIO = 0.9
+ROUNDS = 3         # interleaved sync/async rounds; per-mode best QPS
+                   # (single runs are too noisy on shared CI hosts)
+
+
+def _make_registry() -> ModelRegistry:
+    problem = PoissonProblem2D(RESOLUTION)
+    model = MGDiffNet(ndim=2, base_filters=BASE_FILTERS, depth=DEPTH, rng=42)
+    registry = ModelRegistry()
+    registry.register_model("bench", model, problem)
+    return registry
+
+
+def _server(registry: ModelRegistry) -> PredictionServer:
+    # Cache off so every request computes; one worker so the queue is
+    # the contended resource the scheduler disciplines.
+    return PredictionServer(registry, ServerConfig(
+        max_batch=MAX_BATCH, max_wait_ms=MAX_WAIT_MS, workers=1,
+        cache_bytes=0))
+
+
+def _lanes(n_requests: int) -> list[tuple[str, int]]:
+    """(lane, priority) per request: every HIGH_EVERY-th is high."""
+    return [("high", HIGH_PRIORITY) if i % HIGH_EVERY == 0 else ("low", 0)
+            for i in range(n_requests)]
+
+
+def _measure_async(registry: ModelRegistry, omegas: np.ndarray,
+                   latencies: dict[str, list[float]]) -> dict:
+    """Mixed-priority load through the asyncio facade; per-lane latency
+    appended into ``latencies`` (accumulated across rounds)."""
+    lanes = _lanes(len(omegas))
+
+    async def client(aserver, lane: str, priority: int,
+                     omega: np.ndarray) -> None:
+        t0 = time.perf_counter()
+        await aserver.predict("bench", omega, priority=priority)
+        latencies[lane].append(time.perf_counter() - t0)
+
+    async def run() -> float:
+        server = _server(registry)
+        async with AsyncPredictionServer(server) as aserver:
+            t0 = time.perf_counter()
+            await asyncio.gather(*[
+                client(aserver, lane, priority, w)
+                for (lane, priority), w in zip(lanes, omegas)])
+            return time.perf_counter() - t0
+
+    wall = asyncio.run(run())
+    return {"mode": "async", "qps": len(omegas) / wall, "wall_s": wall}
+
+
+def _measure_sync(registry: ModelRegistry, omegas: np.ndarray) -> dict:
+    """The PR 3 baseline: plain submit/result, no priorities."""
+    server = _server(registry)
+    t0 = time.perf_counter()
+    with server:
+        futures = [server.submit("bench", w) for w in omegas]
+        for f in futures:
+            f.result()
+        wall = time.perf_counter() - t0
+    s = server.stats
+    return {"mode": "sync", "qps": len(omegas) / wall, "wall_s": wall,
+            "p50_ms": s.p50 * 1e3, "p99_ms": s.p99 * 1e3}
+
+
+def _run(n_requests: int = N_REQUESTS, rounds: int = ROUNDS) -> dict:
+    registry = _make_registry()
+    omegas = sample_omega(n_requests, 4)
+    # One inline forward warms conv-plan and pool caches for both runs.
+    PredictionServer(registry, ServerConfig(cache_bytes=0)).predict(
+        "bench", omegas[0])
+    # Interleave the modes round by round and compare per-mode *bests*:
+    # on a shared host a single measurement is hostage to whatever else
+    # ran in that instant, and the claim under test (scheduling adds no
+    # throughput cost) is about the mechanism, not the noise floor.
+    latencies: dict[str, list[float]] = {"high": [], "low": []}
+    sync_rounds, async_rounds = [], []
+    for _ in range(max(1, rounds)):
+        sync_rounds.append(_measure_sync(registry, omegas))
+        async_rounds.append(_measure_async(registry, omegas, latencies))
+    sync = max(sync_rounds, key=lambda r: r["qps"])
+    async_row = dict(max(async_rounds, key=lambda r: r["qps"]))
+    for lane in ("high", "low"):
+        lat = np.asarray(latencies[lane])
+        async_row[f"{lane}_n"] = int(lat.size)
+        async_row[f"{lane}_p50_ms"] = float(np.percentile(lat, 50)) * 1e3
+        async_row[f"{lane}_p99_ms"] = float(np.percentile(lat, 99)) * 1e3
+    return {
+        "resolution": RESOLUTION, "base_filters": BASE_FILTERS,
+        "depth": DEPTH, "n_requests": n_requests,
+        "high_fraction": 1.0 / HIGH_EVERY, "max_batch": MAX_BATCH,
+        "rounds": rounds, "sync": sync, "async": async_row,
+        "sync_qps_rounds": [r["qps"] for r in sync_rounds],
+        "async_qps_rounds": [r["qps"] for r in async_rounds],
+        "qps_ratio": async_row["qps"] / sync["qps"],
+    }
+
+
+def _report(result: dict) -> None:
+    a, s = result["async"], result["sync"]
+    report("async_serve",
+           ["mode", "lane", "n", "qps", "p50_ms", "p99_ms"],
+           [["sync", "all", result["n_requests"], round(s["qps"], 1),
+             round(s["p50_ms"], 2), round(s["p99_ms"], 2)],
+            ["async", "high", a["high_n"], round(a["qps"], 1),
+             round(a["high_p50_ms"], 2), round(a["high_p99_ms"], 2)],
+            ["async", "low", a["low_n"], round(a["qps"], 1),
+             round(a["low_p50_ms"], 2), round(a["low_p99_ms"], 2)]])
+
+
+def _gate(result: dict) -> int:
+    """Exit status: 0 when both latency and throughput gates hold."""
+    a = result["async"]
+    status = 0
+    if a["high_p99_ms"] < a["low_p99_ms"]:
+        result["priority_gate"] = "ok"
+        print(f"priority gate ok: high p99 {a['high_p99_ms']:.1f} ms < "
+              f"low p99 {a['low_p99_ms']:.1f} ms")
+    else:
+        result["priority_gate"] = "failed"
+        print(f"FAIL: high-priority p99 {a['high_p99_ms']:.1f} ms not "
+              f"below low-priority p99 {a['low_p99_ms']:.1f} ms")
+        status = 1
+    if result["qps_ratio"] >= MIN_QPS_RATIO:
+        result["qps_gate"] = "ok"
+        print(f"throughput gate ok: async QPS = "
+              f"{result['qps_ratio']:.2f}x sync (>= {MIN_QPS_RATIO})")
+    else:
+        result["qps_gate"] = "failed"
+        print(f"FAIL: async QPS only {result['qps_ratio']:.2f}x sync "
+              f"(< {MIN_QPS_RATIO})")
+        status = 1
+    return status
+
+
+def test_async_serve(benchmark):
+    # Downscaled for wall time; the shape under test is that priority
+    # lanes separate under saturation without a throughput cliff.  The
+    # hard MIN_QPS_RATIO gate runs at full size in __main__ (CI's
+    # async-serve-smoke job); at 48 requests the ratio is too noisy for
+    # that bound, so this variant only rules out a cliff.
+    result = benchmark.pedantic(lambda: _run(n_requests=48, rounds=2),
+                                rounds=1, iterations=1)
+    _report(result)
+    a = result["async"]
+    assert a["high_p99_ms"] < a["low_p99_ms"], (
+        f"high p99 {a['high_p99_ms']:.1f} ms not below "
+        f"low p99 {a['low_p99_ms']:.1f} ms")
+    assert result["qps_ratio"] >= 0.7
+
+
+if __name__ == "__main__":
+    args = bench_cli(
+        "bench_async_serve",
+        extra_args=lambda p: p.add_argument(
+            "--json", default=None, metavar="PATH",
+            help="also write a JSON artifact (used by CI)"))
+    result = _run()
+    _report(result)
+    status = _gate(result)
+    if args.json:
+        import json
+        from pathlib import Path
+
+        from repro.backend import get_backend, get_default_dtype
+
+        result["backend"] = get_backend().name
+        result["dtype"] = np.dtype(get_default_dtype()).name
+        Path(args.json).write_text(json.dumps(result, indent=2))
+        print(f"wrote {args.json}")
+    sys.exit(status)

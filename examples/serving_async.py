@@ -1,0 +1,119 @@
+"""Async serving: mixed-priority lanes, deadlines and backpressure from
+an asyncio client.
+
+Trains a small model, then drives one prediction server from a single
+event loop the way an outer simulation or design loop would:
+
+1. a **bulk lane** — many low-priority sweep queries submitted at once,
+2. an **interactive lane** — a few high-priority queries arriving into
+   the saturated queue, which jump it and come back with far lower
+   latency,
+3. a **deadline demo** — a request with a budget too small to survive
+   the queue fails with ``DeadlineExceeded`` instead of wasting compute,
+4. **backpressure** — with ``max_pending`` bounding the queue, overflow
+   raises ``ServerOverloaded`` synchronously and the client backs off.
+
+Usage::
+
+    python examples/serving_async.py [--requests 64] [--max-pending 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+
+import numpy as np
+
+from repro import MGDiffNet, MGTrainConfig, MultigridTrainer, PoissonProblem2D
+from repro.data.sobol import sample_omega
+from repro.serve import (
+    AsyncPredictionServer, DeadlineExceeded, ModelRegistry,
+    PredictionServer, ServerConfig, ServerOverloaded,
+)
+
+
+async def submit_with_backoff(aserver, omega, attempts: int = 200, **kw):
+    """The intended client response to backpressure: retry with backoff."""
+    for attempt in range(attempts):
+        try:
+            return aserver.submit("demo", omega, **kw)
+        except ServerOverloaded:
+            await asyncio.sleep(0.002 * min(attempt + 1, 10))
+    raise RuntimeError("server stayed overloaded")
+
+
+async def timed(aserver, omega, **kw) -> float:
+    """Client-side latency of one request, backoff time included."""
+    t0 = time.perf_counter()
+    await (await submit_with_backoff(aserver, omega, **kw))
+    return time.perf_counter() - t0
+
+
+async def run(server: PredictionServer, omegas: np.ndarray) -> None:
+    async with AsyncPredictionServer(server) as aserver:
+        # 1 + 2: saturate with the bulk lane, then drop a few
+        # interactive queries into the full queue.
+        bulk = [asyncio.ensure_future(timed(aserver, w, priority=0))
+                for w in omegas]
+        await asyncio.sleep(0)          # let the bulk lane enqueue
+        urgent = [asyncio.ensure_future(
+            timed(aserver, w, priority=9, deadline_s=30.0))
+            for w in omegas[:4]]
+        bulk_lat = np.asarray(await asyncio.gather(*bulk))
+        urgent_lat = np.asarray(await asyncio.gather(*urgent))
+        print(f"bulk lane   : n={bulk_lat.size:3d}  "
+              f"p50 {1e3 * np.percentile(bulk_lat, 50):7.1f} ms  "
+              f"p99 {1e3 * np.percentile(bulk_lat, 99):7.1f} ms")
+        print(f"urgent lane : n={urgent_lat.size:3d}  "
+              f"p50 {1e3 * np.percentile(urgent_lat, 50):7.1f} ms  "
+              f"p99 {1e3 * np.percentile(urgent_lat, 99):7.1f} ms")
+
+        # 3: a deadline the queue cannot meet fails fast and keyed.
+        refill = [await submit_with_backoff(aserver, w, priority=0)
+                  for w in omegas[:8]]
+        try:
+            await aserver.predict("demo", omegas[0] + 0.123,
+                                  deadline_s=1e-4)
+        except DeadlineExceeded as exc:
+            print(f"deadline    : {exc}")
+        await asyncio.gather(*refill)
+
+        # 4: overflow the bounded queue hard, recover with backoff.
+        flood = [await submit_with_backoff(aserver, w)
+                 for w in omegas + 0.456]
+        await asyncio.gather(*flood)
+        print(f"backpressure: {server.stats.rejected} rejections absorbed "
+              f"by client backoff, {server.stats.expired} deadline "
+              f"expiries, 0 failures")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-pending", type=int, default=16)
+    args = parser.parse_args()
+
+    problem = PoissonProblem2D(args.resolution)
+    model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=0)
+    trainer = MultigridTrainer(
+        model, problem, problem.make_dataset(8), strategy="half_v", levels=2,
+        config=MGTrainConfig(batch_size=4, max_epochs_per_level=10))
+    result = trainer.train()
+    print(f"trained in {result.total_time:.1f}s, "
+          f"final loss {result.final_loss:.5f}")
+
+    registry = ModelRegistry()
+    registry.register_model("demo", model, problem)
+    server = PredictionServer(registry, ServerConfig(
+        max_batch=args.max_batch, max_wait_ms=2.0, workers=1,
+        cache_bytes=0, max_pending=args.max_pending))
+    omegas = sample_omega(args.requests, problem.field.m)
+    asyncio.run(run(server, omegas))
+
+
+if __name__ == "__main__":
+    main()

@@ -121,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="spill the result cache to this directory "
                         "(one npz per entry; survives restarts)")
+    p.add_argument("--spill-mb", type=int, default=None,
+                   help="byte budget (MiB) for --cache-dir; LRU files "
+                        "are evicted over budget (default: unbounded)")
+    p.add_argument("--max-pending", type=int, default=0,
+                   help="bound the request queue; overflowing submits "
+                        "are rejected with backpressure (0: unbounded)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="latency budget per request; requests still "
+                        "queued past it fail with DeadlineExceeded")
     p.add_argument("--autotune", action="store_true",
                    help="measured conv autotuning (persisted per host)")
 
@@ -249,7 +259,8 @@ def _cmd_serve(args) -> int:
     from .backend import set_conv_plan_mode
     from .data.sobol import sample_omega
     from .serve import (
-        ModelRegistry, PredictionServer, RegistryError, ServerConfig,
+        DeadlineExceeded, ModelRegistry, PredictionServer, RegistryError,
+        ServerConfig, ServerOverloaded,
     )
 
     if args.autotune:
@@ -269,8 +280,21 @@ def _cmd_serve(args) -> int:
         workers=args.workers, cache_bytes=args.cache_mb * 1024 * 1024,
         backend=args.backend, tile=args.tile,
         tile_threshold_voxels=args.tile_threshold,
-        executor=args.executor, cache_dir=args.cache_dir)
+        executor=args.executor, cache_dir=args.cache_dir,
+        spill_max_bytes=(args.spill_mb * 1024 * 1024
+                         if args.spill_mb is not None else None),
+        max_pending=args.max_pending,
+        default_deadline_s=args.default_deadline)
     server = PredictionServer(registry, config)
+
+    def submit(name, w):
+        # With --max-pending the queue sheds load; this client applies
+        # the intended response — back off briefly and retry.
+        while True:
+            try:
+                return server.submit(name, w, args.resolution)
+            except ServerOverloaded:
+                time.sleep(0.002)
 
     names = registry.names()
     loads: dict[str, np.ndarray] = {}
@@ -287,10 +311,13 @@ def _cmd_serve(args) -> int:
     try:
         with server:
             for _ in range(max(1, args.repeat)):
-                futures = [(name, server.submit(name, w, args.resolution))
+                futures = [(name, submit(name, w))
                            for name in names for w in loads[name]]
                 for _, f in futures:
-                    f.result()
+                    try:
+                        f.result()
+                    except DeadlineExceeded:
+                        pass  # reported below via stats.expired
             # Every future has resolved: measure before the with-block
             # exit so worker join + pool teardown don't deflate QPS.
             wall = time.perf_counter() - t0
@@ -308,10 +335,13 @@ def _cmd_serve(args) -> int:
     print(f"latency p50 {s.p50 * 1e3:.2f} ms, p99 {s.p99 * 1e3:.2f} ms; "
           f"{s.batches} batches, mean size {s.mean_batch_size:.2f}, "
           f"{s.tiled_forwards} tiled forwards, {s.dedup_hits} dedup hits")
+    print(f"scheduling: {s.rejected} backpressure rejections, "
+          f"{s.expired} expired deadlines")
     print(f"cache: {c.hits} hits / {c.misses} misses "
           f"({100 * c.hit_rate:.0f}%), {c.bytes_cached >> 20} MiB resident, "
           f"{c.evictions} evictions, {c.spill_hits} spill hits, "
-          f"{c.spill_writes} spill writes")
+          f"{c.spill_writes} spill writes, {c.spill_evictions} spill "
+          f"evictions")
     return 0
 
 

@@ -6,8 +6,12 @@ FEM solve.  This package is the infrastructure realizing that claim:
 
 * :class:`ModelRegistry` — named, versioned, validated checkpoint
   entries (``load``/``register_model``/``get``);
-* :class:`PredictionServer` — request queue, dynamic micro-batching,
-  size-bounded LRU result cache, sync and worker-thread front-ends;
+* :class:`PredictionServer` — priority/deadline request queue with
+  bounded-queue backpressure, dynamic micro-batching, size-bounded LRU
+  result cache (optionally disk-spilled under a byte budget), sync and
+  worker-thread front-ends;
+* :class:`AsyncPredictionServer` — ``asyncio`` facade wrapping submitted
+  futures into awaitables under the same scheduling policy;
 * :func:`tiled_predict` — exact full-field inference on grids too large
   for one forward pass, via ``2**depth``-aligned halo-padded tiles.
 
@@ -24,8 +28,10 @@ Quickstart::
     u = server.predict("poisson2d", omega)   # sync front-end, cached
 """
 
-from .batching import MicroBatcher, PredictRequest
+from .aio import AsyncPredictionServer
+from .batching import MicroBatcher, PredictRequest, RequestQueue
 from .cache import CacheStats, LRUCache, quantize_omega, result_key
+from .errors import DeadlineExceeded, ServeError, ServerOverloaded
 from .executor import (
     EXECUTOR_KINDS, Executor, ProcessExecutor, SerialExecutor,
     ThreadExecutor, default_workers, make_executor,
@@ -37,8 +43,10 @@ from .tiling import (
 )
 
 __all__ = [
-    "MicroBatcher", "PredictRequest",
+    "AsyncPredictionServer",
+    "MicroBatcher", "PredictRequest", "RequestQueue",
     "CacheStats", "LRUCache", "quantize_omega", "result_key",
+    "ServeError", "DeadlineExceeded", "ServerOverloaded",
     "EXECUTOR_KINDS", "Executor", "SerialExecutor", "ThreadExecutor",
     "ProcessExecutor", "default_workers", "make_executor",
     "ModelEntry", "ModelRegistry", "RegistryError",

@@ -1,0 +1,112 @@
+"""Asyncio front-end over the prediction server.
+
+The worker-thread server speaks ``concurrent.futures.Future`` — the
+right currency for thread clients, the wrong one for an event loop: a
+coroutine that calls ``future.result()`` blocks its whole loop.  This
+module is the bridge (ROADMAP "Async/streaming front-end"):
+:class:`AsyncPredictionServer` wraps each submitted future into an
+awaitable tied to the running loop, so thousands of outstanding ω
+queries cost one coroutine each instead of one thread each — the shape
+of traffic the paper's Sec. 4.3 amortization argument assumes, and the
+queueing discipline an outer simulation loop (DNN-MG style) needs to
+mix interactive and bulk requests on one fleet.
+
+The facade adds **no second scheduler**: priorities, deadlines and
+backpressure are enforced by the server's own queue
+(:mod:`repro.serve.batching`), so sync and async clients of one server
+compete under exactly the same policy.  Rejections surface naturally:
+``await`` raises :class:`~repro.serve.errors.DeadlineExceeded` for
+expired requests, and ``submit`` raises
+:class:`~repro.serve.errors.ServerOverloaded` synchronously when
+``max_pending`` overflows — shed or retry with backoff in the client.
+
+Quickstart::
+
+    server = PredictionServer(registry, ServerConfig(max_pending=256))
+    async with AsyncPredictionServer(server) as aserver:
+        u = await aserver.predict("m", omega, priority=5, deadline_s=0.5)
+        many = await aserver.predict_many("m", omegas)   # gathers a lane
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from .server import PredictionServer
+
+__all__ = ["AsyncPredictionServer"]
+
+
+class AsyncPredictionServer:
+    """Awaitable facade over one :class:`PredictionServer`.
+
+    Owns no threads and no queue of its own — every call delegates to
+    the wrapped server's ``submit`` and converts the returned
+    ``concurrent.futures.Future`` into an ``asyncio`` future on the
+    running loop.  Lifecycle: ``async with`` starts the server's worker
+    fleet on entry and closes it (workers *and* compute executor) on
+    exit, off-loop so a process-pool teardown cannot stall the event
+    loop.  A server started by other means can be wrapped and used
+    directly; ``start``/``close`` are then the caller's business.
+    """
+
+    def __init__(self, server: PredictionServer) -> None:
+        self.server = server
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def __aenter__(self) -> "AsyncPredictionServer":
+        # start() warms the compute executor (possibly forking a process
+        # pool) — real work, so keep it off the loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.server.start)
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.server.close)
+
+    # ------------------------------------------------------------------ #
+    # Awaitable front-end
+    # ------------------------------------------------------------------ #
+    def submit(self, model_name: str, omega: np.ndarray,
+               resolution: int | None = None, *,
+               priority: int | None = None,
+               deadline_s: float | None = None) -> "asyncio.Future":
+        """Queue one prediction; returns an awaitable of the full field.
+
+        Must be called with a running event loop.  Cache hits come back
+        already resolved; queue overflow (``max_pending``) raises
+        :class:`ServerOverloaded` here, synchronously, and bad requests
+        (wrong ω arity, unknown model) raise exactly as on the sync
+        path — backpressure and validation must not hide behind an
+        ``await``.
+        """
+        future = self.server.submit(model_name, omega, resolution,
+                                    priority=priority, deadline_s=deadline_s)
+        return asyncio.wrap_future(future)
+
+    async def predict(self, model_name: str, omega: np.ndarray,
+                      resolution: int | None = None, *,
+                      priority: int | None = None,
+                      deadline_s: float | None = None) -> np.ndarray:
+        """One awaited prediction (async counterpart of ``predict``)."""
+        return await self.submit(model_name, omega, resolution,
+                                 priority=priority, deadline_s=deadline_s)
+
+    async def predict_many(self, model_name: str, omegas: np.ndarray,
+                           resolution: int | None = None, *,
+                           priority: int | None = None,
+                           deadline_s: float | None = None) -> np.ndarray:
+        """Submit a lane of ω concurrently and gather, shape (B, *grid)."""
+        omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
+        fields = await asyncio.gather(*[
+            self.submit(model_name, w, resolution, priority=priority,
+                        deadline_s=deadline_s) for w in omegas])
+        return np.stack(fields)
+
+    def __repr__(self) -> str:
+        return f"AsyncPredictionServer({self.server!r})"

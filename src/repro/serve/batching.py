@@ -11,19 +11,36 @@ The batcher is policy only: it owns no threads.  A server worker calls
 runs (same model version and resolution) with ``group_compatible`` —
 coalescing never changes results because eval-mode inference is
 per-sample independent (verified by the determinism tests).
+
+Scheduling discipline (the seam PR 2 left open, filled here):
+
+* **Priorities** — :class:`RequestQueue` is a heap, not a FIFO: requests
+  dequeue highest ``priority`` first, FIFO within a priority level, so
+  a saturated server never head-of-line-blocks an interactive query
+  behind a bulk sweep.
+* **Deadlines** — a request carrying ``expires_at`` that is already past
+  due when drained is handed to the caller's ``on_expired`` hook instead
+  of a batch slot; the server fails it with a keyed
+  :class:`~repro.serve.errors.DeadlineExceeded` *before* it wastes a
+  fused forward.
+* **Backpressure** — the queue is byte-cheap but not free: bounding it
+  (``RequestQueue(maxsize=...)``) turns overload into synchronous
+  ``queue.Full`` at ``put`` time, which the server surfaces as a keyed
+  ``ServerOverloaded`` rejection.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["PredictRequest", "MicroBatcher"]
+__all__ = ["PredictRequest", "RequestQueue", "MicroBatcher"]
 
 
 @dataclass
@@ -36,14 +53,49 @@ class PredictRequest:
     future: Any  # concurrent.futures.Future
     enqueued_at: float = field(default_factory=time.perf_counter)
     key: tuple | None = None  # cache/dedup key, stamped by submit()
+    priority: int = 0         # higher dequeues first under saturation
+    deadline_s: float | None = None   # latency budget granted at submit
+    expires_at: float | None = None   # absolute perf_counter expiry
 
     def group_key(self) -> tuple:
         """Requests sharing this key may run in one fused forward."""
         return (self.model_name, self.resolution)
 
+    def expired(self, now: float | None = None) -> bool:
+        """True when the deadline has passed (never, without one)."""
+        if self.expires_at is None:
+            return False
+        return (time.perf_counter() if now is None else now) > self.expires_at
+
+
+class RequestQueue(queue.PriorityQueue):
+    """Priority-ordered, optionally bounded queue of requests.
+
+    A drop-in for the ``queue.Queue`` the batcher drains — same ``put``/
+    ``get``/``task_done``/``join`` surface — but backed by a heap keyed
+    ``(-priority, sequence)``: higher priority dequeues first, and the
+    monotone sequence number keeps FIFO order (and heap stability) within
+    one priority level.  ``maxsize > 0`` bounds pending requests; a
+    non-blocking ``put`` on a full queue raises ``queue.Full``, which is
+    the backpressure signal the server turns into ``ServerOverloaded``.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        super().__init__(maxsize)
+        self._seq = itertools.count()
+
+    def put(self, request: PredictRequest, block: bool = True,
+            timeout: float | None = None) -> None:
+        super().put((-request.priority, next(self._seq), request),
+                    block, timeout)
+
+    def get(self, block: bool = True,
+            timeout: float | None = None) -> PredictRequest:
+        return super().get(block, timeout)[-1]
+
 
 class MicroBatcher:
-    """Coalescing policy over a :class:`queue.Queue` of requests.
+    """Coalescing policy over a queue of requests.
 
     Parameters
     ----------
@@ -62,22 +114,45 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
 
+    def _admit(self, request: PredictRequest, batch: list[PredictRequest],
+               source: "queue.Queue[PredictRequest]",
+               on_expired: Callable[[PredictRequest], None] | None) -> None:
+        """Route a drained request to the batch or the expiry hook.
+
+        Expired requests never occupy a batch slot: they are consumed
+        here (including the ``task_done`` their ``get`` owes the queue's
+        drain accounting) so a saturated queue full of dead requests
+        cannot starve the live ones behind them.
+        """
+        if on_expired is not None and request.expired():
+            on_expired(request)
+            if hasattr(source, "task_done"):
+                source.task_done()
+            return
+        batch.append(request)
+
     def collect(self, source: "queue.Queue[PredictRequest]",
                 stop: threading.Event | None = None,
-                poll_s: float = 0.05) -> list[PredictRequest]:
-        """Block for the next request, then drain companions.
+                poll_s: float = 0.05,
+                on_expired: Callable[[PredictRequest], None] | None = None,
+                ) -> list[PredictRequest]:
+        """Block for the next live request, then drain companions.
 
-        Returns ``[]`` only when ``stop`` is set and the queue is empty —
-        the worker's signal to exit.
+        With a :class:`RequestQueue` source the drain order is priority
+        order.  ``on_expired`` receives every past-deadline request
+        consumed during the drain (the caller resolves its future); the
+        returned batch contains only live requests.  Returns ``[]`` only
+        when ``stop`` is set and the queue is empty — the worker's signal
+        to exit.
         """
-        first: PredictRequest | None = None
-        while first is None:
+        batch: list[PredictRequest] = []
+        while not batch:
             try:
-                first = source.get(timeout=poll_s)
+                self._admit(source.get(timeout=poll_s), batch, source,
+                            on_expired)
             except queue.Empty:
                 if stop is not None and stop.is_set():
                     return []
-        batch = [first]
         deadline = time.perf_counter() + self.max_wait_ms / 1e3
         while len(batch) < self.max_batch:
             remaining = deadline - time.perf_counter()
@@ -85,12 +160,14 @@ class MicroBatcher:
                 # Deadline passed: take whatever is already queued, but
                 # do not wait for more.
                 try:
-                    batch.append(source.get_nowait())
+                    self._admit(source.get_nowait(), batch, source,
+                                on_expired)
                     continue
                 except queue.Empty:
                     break
             try:
-                batch.append(source.get(timeout=remaining))
+                self._admit(source.get(timeout=remaining), batch, source,
+                            on_expired)
             except queue.Empty:
                 break
         return batch

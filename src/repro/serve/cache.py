@@ -18,6 +18,14 @@ the model version and a digest of the full key: a reloaded (retrained)
 checkpoint changes the version, changes every key, and thereby leaves
 stale files unreachable (self-invalidation; ``prune_spill`` deletes the
 orphans of versions no longer served).
+
+**Spill budget** (``spill_max_bytes``): the disk tier is LRU-bounded
+like the memory tier — reads and rewrites refresh a file's recency
+(mirrored to its mtime, so the order survives restarts), writes evict
+the least-recently-used files until the total fits, and a value larger
+than the whole budget is not written at all (admitting it would wipe the
+tier just to be evicted next).  ``None`` keeps the pre-budget behavior:
+unbounded disk, pruned only by version.
 """
 
 from __future__ import annotations
@@ -31,8 +39,19 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["CacheStats", "LRUCache", "quantize_omega", "result_key",
-           "spill_file_name"]
+__all__ = ["CacheStats", "LRUCache", "key_digest", "quantize_omega",
+           "result_key", "spill_file_name"]
+
+
+def key_digest(key: tuple) -> str:
+    """Stable hex digest of one cache key.
+
+    ``repr`` of the key tuple is stable (shortest-round-trip floats).
+    Shared by spill file names and the keyed serving errors, so an
+    operator can correlate a rejection in a log line with the exact
+    cache/spill entry it names.
+    """
+    return hashlib.sha1(repr(key).encode()).hexdigest()[:20]
 
 
 def quantize_omega(omega: np.ndarray, step: float = 1e-6) -> tuple[float, ...]:
@@ -54,13 +73,11 @@ def result_key(model_version: str, problem_sig: tuple,
 def spill_file_name(key: tuple) -> str:
     """Deterministic npz file name for one cache key.
 
-    ``repr`` of the key tuple is stable (shortest-round-trip floats), and
-    the model version prefix keeps stale generations visually — and
+    The model version prefix keeps stale generations visually — and
     prunably — distinct.
     """
-    digest = hashlib.sha1(repr(key).encode()).hexdigest()[:20]
     version = str(key[0]) if key else "v"
-    return f"{version}-{digest}.npz"
+    return f"{version}-{key_digest(key)}.npz"
 
 
 @dataclass
@@ -74,6 +91,8 @@ class CacheStats:
     entries: int = 0
     spill_hits: int = 0
     spill_writes: int = 0
+    spill_bytes: int = 0
+    spill_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -91,14 +110,27 @@ class LRUCache:
     """
 
     def __init__(self, max_bytes: int = 64 * 1024 * 1024,
-                 spill_dir: str | os.PathLike | None = None) -> None:
+                 spill_dir: str | os.PathLike | None = None,
+                 spill_max_bytes: int | None = None) -> None:
         self.max_bytes = int(max_bytes)
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
-        if self.spill_dir is not None:
-            self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self.spill_max_bytes = (int(spill_max_bytes)
+                                if spill_max_bytes is not None else None)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        # LRU accounting of the disk tier: file name -> bytes, ordered
+        # least- to most-recently used.  Seeded from a directory scan in
+        # mtime order so the recency ranking survives restarts (reads
+        # mirror their touch to the file's mtime).
+        self._spill_files: OrderedDict[str, int] = OrderedDict()
         self.stats = CacheStats()
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self.spill_dir.glob("*.npz"),
+                               key=lambda p: p.stat().st_mtime):
+                self._spill_files[path.name] = path.stat().st_size
+            self.stats.spill_bytes = sum(self._spill_files.values())
+            self._enforce_spill_budget()
 
     def get(self, key: tuple) -> np.ndarray | None:
         with self._lock:
@@ -159,7 +191,17 @@ class LRUCache:
 
     def _write_spilled(self, key: tuple, value: np.ndarray) -> None:
         path = self._spill_path(key)
-        if path is None or path.exists():
+        if path is None:
+            return
+        if path.exists():
+            # Rewriting an existing entry is a use: refresh its recency.
+            self._touch_spill(path)
+            return
+        if (self.spill_max_bytes is not None
+                and value.nbytes > self.spill_max_bytes):
+            # Same admission rule as the memory tier: a value larger
+            # than the whole budget would wipe the tier just to be
+            # evicted itself next.
             return
         # Atomic publish: a concurrent reader must never see a torn
         # file.  The tmp name is writer-unique so two processes/threads
@@ -169,11 +211,48 @@ class LRUCache:
         try:
             np.savez(tmp, value=np.ascontiguousarray(value))
             os.replace(tmp, path)
+            size = path.stat().st_size
         except OSError:
             tmp.unlink(missing_ok=True)
             return
         with self._lock:
             self.stats.spill_writes += 1
+            self._spill_files[path.name] = size
+            self.stats.spill_bytes += size
+            self._enforce_spill_budget()
+
+    def _touch_spill(self, path: Path) -> None:
+        """Move a spill file to most-recently-used (persisted via mtime)."""
+        try:
+            os.utime(path)
+            size = path.stat().st_size
+        except OSError:
+            return
+        with self._lock:
+            # (Re)register at most-recently-used; incremental accounting
+            # keeps spill hits O(1).  A file written by another instance
+            # sharing the directory enters this instance's books on
+            # first touch (old is None).
+            old = self._spill_files.pop(path.name, None)
+            self._spill_files[path.name] = size
+            self.stats.spill_bytes += size - (old or 0)
+            self._enforce_spill_budget()
+
+    def _enforce_spill_budget(self) -> None:
+        """Evict least-recently-used spill files over budget (lock held)."""
+        if self.spill_max_bytes is None or self.spill_dir is None:
+            return
+        while self.stats.spill_bytes > self.spill_max_bytes:
+            name, size = self._spill_files.popitem(last=False)
+            (self.spill_dir / name).unlink(missing_ok=True)
+            self.stats.spill_bytes -= size
+            self.stats.spill_evictions += 1
+
+    def _forget_spill(self, path: Path) -> None:
+        with self._lock:
+            size = self._spill_files.pop(path.name, None)
+            if size is not None:
+                self.stats.spill_bytes -= size
 
     def _load_spilled(self, key: tuple) -> np.ndarray | None:
         path = self._spill_path(key)
@@ -185,8 +264,10 @@ class LRUCache:
         except (OSError, ValueError, KeyError):
             # Torn or foreign file: drop it so it cannot shadow recompute.
             path.unlink(missing_ok=True)
+            self._forget_spill(path)
             return None
         value.flags.writeable = False
+        self._touch_spill(path)
         return value
 
     def prune_spill(self, live_versions) -> int:
@@ -200,6 +281,7 @@ class LRUCache:
             version = path.name.rsplit("-", 1)[0]
             if version not in live:
                 path.unlink(missing_ok=True)
+                self._forget_spill(path)
                 removed += 1
         return removed
 

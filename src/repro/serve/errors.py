@@ -1,0 +1,72 @@
+"""Keyed serving errors: every rejection names the request it rejects.
+
+The serving front-ends fail requests for reasons the *client* must be
+able to tell apart programmatically — an expired deadline is retryable
+with a longer budget, an overloaded queue is retryable after backoff,
+and both are distinct from a genuinely broken request (``ValueError``)
+or a broken model (``RegistryError``).  Mirroring ``CheckpointError``,
+each error spells out the offending request (model name, cache key
+digest, the limit it hit) instead of surfacing a bare string.
+"""
+
+from __future__ import annotations
+
+from .cache import key_digest
+
+__all__ = ["ServeError", "DeadlineExceeded", "ServerOverloaded"]
+
+
+def _key_digest(key: tuple | None) -> str:
+    """Digest of a request's cache key for error messages.
+
+    The raw key embeds the full quantized ω tuple — too noisy for a log
+    line — but the shared :func:`~repro.serve.cache.key_digest` lets
+    operators correlate an error with its cache/spill entry exactly
+    (spill file names embed the identical digest).
+    """
+    return key_digest(key) if key is not None else "unkeyed"
+
+
+class ServeError(RuntimeError):
+    """Base class for keyed serving rejections."""
+
+
+class DeadlineExceeded(ServeError, TimeoutError):
+    """A request's latency budget ran out before its fused forward.
+
+    Raised through the request's future by the scheduling layer; the
+    compute was *never started*, so an expired request costs the server
+    only its queue slot.  Also a :class:`TimeoutError`, so generic
+    timeout handling in clients catches it.
+    """
+
+    def __init__(self, model_name: str, key: tuple | None,
+                 deadline_s: float, waited_s: float) -> None:
+        self.model_name = model_name
+        self.key_digest = _key_digest(key)
+        self.deadline_s = float(deadline_s)
+        self.waited_s = float(waited_s)
+        super().__init__(
+            f"request {self.key_digest} for model {model_name!r} expired: "
+            f"waited {waited_s * 1e3:.1f} ms against a deadline of "
+            f"{deadline_s * 1e3:.1f} ms without entering a fused forward")
+
+
+class ServerOverloaded(ServeError):
+    """The bounded request queue is full (``max_pending`` reached).
+
+    Raised synchronously by ``submit`` — backpressure must reach the
+    caller *before* the request consumes server state, so clients can
+    shed or retry with backoff.
+    """
+
+    def __init__(self, model_name: str, key: tuple | None,
+                 pending: int, max_pending: int) -> None:
+        self.model_name = model_name
+        self.key_digest = _key_digest(key)
+        self.pending = int(pending)
+        self.max_pending = int(max_pending)
+        super().__init__(
+            f"request {self.key_digest} for model {model_name!r} rejected: "
+            f"{pending} requests already pending >= max_pending="
+            f"{max_pending}")

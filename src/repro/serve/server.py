@@ -24,6 +24,15 @@ Front-ends:
   op dispatch is thread-local), so e.g. the threaded backend
   parallelizes inside a fused forward while workers overlap queue wait
   with compute.
+* **asyncio** — :class:`repro.serve.aio.AsyncPredictionServer` wraps the
+  worker-thread front-end's futures into awaitables.
+
+The queue is a priority heap with deadlines and backpressure (see
+:mod:`repro.serve.batching`): ``submit(..., priority=, deadline_s=)``
+orders dequeue under saturation, expires stale requests with a keyed
+``DeadlineExceeded`` before they waste a fused forward, and — with
+``max_pending`` set — rejects overflow synchronously with a keyed
+``ServerOverloaded`` (counted in ``stats.rejected``).
 
 Where the *compute* of a fused forward runs is pluggable
 (:mod:`repro.serve.executor`): ``executor='serial'`` keeps it inline on
@@ -48,8 +57,9 @@ import numpy as np
 
 from ..backend import set_backend
 from ..core.inference import predict_batch
-from .batching import MicroBatcher, PredictRequest
+from .batching import MicroBatcher, PredictRequest, RequestQueue
 from .cache import LRUCache, result_key
+from .errors import DeadlineExceeded, ServerOverloaded
 from .executor import Executor, SerialExecutor, make_executor
 from .registry import ModelEntry, ModelRegistry
 from .tiling import receptive_halo, tiled_predict
@@ -89,6 +99,10 @@ class ServerConfig:
     backend: str | None = None        # backend workers pin (None: inherit)
     executor: str = "serial"          # compute layer: serial|thread|process
     cache_dir: str | None = None      # set: spill the LRU to disk (npz)
+    spill_max_bytes: int | None = None  # byte budget for the spill tier
+    max_pending: int = 0              # >0: bound the queue (backpressure)
+    default_priority: int = 0         # priority for submits that set none
+    default_deadline_s: float | None = None  # latency budget default
 
 
 @dataclass
@@ -102,6 +116,8 @@ class ServerStats:
     batched_requests: int = 0
     tiled_forwards: int = 0
     errors: int = 0
+    rejected: int = 0          # max_pending backpressure rejections
+    expired: int = 0           # deadlines missed before a fused forward
     latencies: list = field(default_factory=list)
 
     def observe_latency(self, seconds: float) -> None:
@@ -135,11 +151,13 @@ class PredictionServer:
         self.registry = registry
         self.config = config or ServerConfig()
         self.cache = LRUCache(self.config.cache_bytes,
-                              spill_dir=self.config.cache_dir)
+                              spill_dir=self.config.cache_dir,
+                              spill_max_bytes=self.config.spill_max_bytes)
         self.stats = ServerStats()
         self._batcher = MicroBatcher(self.config.max_batch,
                                      self.config.max_wait_ms)
-        self._queue: "queue.Queue[PredictRequest]" = queue.Queue()
+        # Priority heap, bounded when max_pending asks for backpressure.
+        self._queue = RequestQueue(maxsize=max(0, self.config.max_pending))
         self._stop = threading.Event()
         self._workers: list[threading.Thread] = []
         self._stats_lock = threading.Lock()
@@ -226,9 +244,21 @@ class PredictionServer:
     # Front-ends
     # ------------------------------------------------------------------ #
     def submit(self, model_name: str, omega: np.ndarray,
-               resolution: int | None = None) -> Future:
+               resolution: int | None = None, *,
+               priority: int | None = None,
+               deadline_s: float | None = None) -> Future:
         """Queue one prediction; returns a Future of the (full-field)
         NumPy array.  Cache hits resolve immediately without queueing.
+
+        ``priority`` (default ``config.default_priority``) orders the
+        request queue: under saturation higher priorities dequeue first.
+        ``deadline_s`` (default ``config.default_deadline_s``) grants a
+        latency budget from now; a request still queued when it runs out
+        fails with a keyed :class:`DeadlineExceeded` instead of wasting a
+        fused forward.  When ``config.max_pending`` bounds the queue, an
+        overflowing submit raises :class:`ServerOverloaded` synchronously
+        (and counts it in ``stats.rejected``) — shed or retry with
+        backoff.
 
         Served fields are read-only (hits and misses alike — they may be
         shared with the cache); copy before mutating."""
@@ -246,10 +276,9 @@ class PredictionServer:
         future: Future = Future()
         key = self._key(entry, omega, r)
         cached = self.cache.get(key)
-        with self._stats_lock:
-            self.stats.requests += 1
         if cached is not None:
             with self._stats_lock:
+                self.stats.requests += 1
                 self.stats.cache_hits += 1
                 self.stats.observe_latency(time.perf_counter() - t0)
             future.set_result(cached)
@@ -263,13 +292,50 @@ class PredictionServer:
                 self._inflight[key] = future
         if twin is not None:
             with self._stats_lock:
+                self.stats.requests += 1
                 self.stats.dedup_hits += 1
             return twin
 
-        request = PredictRequest(model_name=model_name, omega=omega,
-                                 resolution=r, future=future, key=key)
+        if priority is None:
+            priority = self.config.default_priority
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        request = PredictRequest(
+            model_name=model_name, omega=omega, resolution=r, future=future,
+            key=key, priority=int(priority), deadline_s=deadline_s,
+            expires_at=(t0 + deadline_s if deadline_s is not None else None))
         if self.running:
-            self._queue.put(request)
+            try:
+                self._queue.put(request, block=False)
+            except queue.Full:
+                # Backpressure: reject synchronously before the request
+                # consumes any server state (its dedup slot included —
+                # a later identical submit must compute, not attach to
+                # a future nothing will resolve).  A rejection is not an
+                # accepted request: it counts in ``rejected``, not in
+                # ``requests``, so retried submits don't inflate QPS.
+                self._drop_inflight(request)
+                with self._stats_lock:
+                    self.stats.rejected += 1
+                exc = ServerOverloaded(
+                    model_name, key, pending=self._queue.qsize(),
+                    max_pending=self.config.max_pending)
+                # A twin may have attached between the in-flight insert
+                # above and this rejection; failing the future (not just
+                # raising) guarantees no attached caller waits forever.
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(exc)
+                raise exc from None
+            with self._stats_lock:
+                self.stats.requests += 1
+            return future
+        with self._stats_lock:
+            self.stats.requests += 1
+        if request.expired():
+            # Sync front-end honors a zero/negative budget the same way
+            # the queue would, so deadline semantics don't depend on
+            # whether the server is running.
+            self._expire_request(request)
         else:
             # Sync front-end: same path, caller's thread.
             self._process_group(entry, [request])
@@ -277,16 +343,22 @@ class PredictionServer:
 
     def predict(self, model_name: str, omega: np.ndarray,
                 resolution: int | None = None,
-                timeout: float | None = None) -> np.ndarray:
+                timeout: float | None = None, *,
+                priority: int | None = None,
+                deadline_s: float | None = None) -> np.ndarray:
         """Blocking single prediction (sync front-end)."""
-        return self.submit(model_name, omega, resolution).result(timeout)
+        return self.submit(model_name, omega, resolution, priority=priority,
+                           deadline_s=deadline_s).result(timeout)
 
     def predict_many(self, model_name: str, omegas: np.ndarray,
                      resolution: int | None = None,
-                     timeout: float | None = None) -> np.ndarray:
+                     timeout: float | None = None, *,
+                     priority: int | None = None,
+                     deadline_s: float | None = None) -> np.ndarray:
         """Submit a batch of ω and gather results, shape (B, *grid)."""
         omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
-        futures = [self.submit(model_name, w, resolution) for w in omegas]
+        futures = [self.submit(model_name, w, resolution, priority=priority,
+                               deadline_s=deadline_s) for w in omegas]
         return np.stack([f.result(timeout) for f in futures])
 
     # ------------------------------------------------------------------ #
@@ -297,7 +369,8 @@ class PredictionServer:
             # Backend choice is thread-local; each worker pins its own.
             set_backend(self.config.backend)
         while True:
-            batch = self._batcher.collect(self._queue, stop=self._stop)
+            batch = self._batcher.collect(self._queue, stop=self._stop,
+                                          on_expired=self._expire_request)
             if not batch:
                 return
             try:
@@ -309,13 +382,43 @@ class PredictionServer:
                         with self._stats_lock:
                             self.stats.errors += len(group)
                         for req in group:
+                            claimed = self._claim(req)
                             self._drop_inflight(req)
-                            req.future.set_exception(exc)
+                            if claimed:
+                                req.future.set_exception(exc)
                         continue
                     self._process_group(entry, group)
             finally:
                 for _ in batch:
                     self._queue.task_done()
+
+    def _claim(self, req: PredictRequest) -> bool:
+        """Claim a request's future for resolution; ``False`` when the
+        client already cancelled it while it was queued.
+
+        The asyncio facade makes cancellation routine (``wait_for``
+        timeouts, ``gather`` cancelling siblings), and ``wrap_future``
+        propagates it to the pending server future — after which
+        ``set_result``/``set_exception`` would raise InvalidStateError
+        and kill the worker thread.  Claiming marks the future RUNNING,
+        so later cancels fail cleanly instead; a request whose claim
+        fails is dropped without compute, its dedup slot released so a
+        resubmit computes fresh.
+        """
+        if req.future.set_running_or_notify_cancel():
+            return True
+        self._drop_inflight(req)
+        return False
+
+    def _expire_request(self, req: PredictRequest) -> None:
+        """Fail a past-deadline request with a keyed error (no compute)."""
+        with self._stats_lock:
+            self.stats.expired += 1
+        if self._claim(req):
+            req.future.set_exception(DeadlineExceeded(
+                req.model_name, req.key, deadline_s=req.deadline_s or 0.0,
+                waited_s=time.perf_counter() - req.enqueued_at))
+        self._drop_inflight(req)
 
     def _drop_inflight(self, req: PredictRequest) -> None:
         if req.key is None:
@@ -326,6 +429,11 @@ class PredictionServer:
     def _process_group(self, entry: ModelEntry,
                        group: list[PredictRequest]) -> None:
         """One fused forward for compatible requests; resolve futures."""
+        # Claim every future first: requests cancelled while queued are
+        # dropped here, before they cost a slot in the fused stack.
+        group = [req for req in group if self._claim(req)]
+        if not group:
+            return
         r = group[0].resolution
         try:
             omegas = np.stack([req.omega for req in group])

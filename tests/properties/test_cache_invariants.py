@@ -1,0 +1,188 @@
+"""Randomized-op invariant tests for the serving cache and buffer pool.
+
+Unit tests pin single behaviors; these machines drive :class:`LRUCache`
+(memory + budgeted disk-spill tiers) and :class:`BufferPool` through
+~1k random operations per seed and re-check the structural invariants
+after *every* op — the byte bounds, accounting identities and aliasing
+rules the concurrent server leans on.  Failures print the seed and op
+index, so any counterexample replays deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import BufferPool
+from repro.serve import LRUCache
+
+SEEDS = [0, 1, 2, 3, 4]
+N_OPS = 1000
+
+MEM_BUDGET = 4 * 1024
+SPILL_BUDGET = 12 * 1024
+
+
+def _value(rng: np.random.Generator) -> np.ndarray:
+    # Sizes straddle both budgets: most entries fit, some are too big
+    # for memory, a few too big even for the spill tier.
+    side = int(rng.choice([2, 4, 8, 16, 24, 40, 64]))
+    return rng.standard_normal((side, side)).astype(np.float32)
+
+
+def _check_cache(cache: LRUCache, ctx: str) -> None:
+    """Structural invariants that must hold after every operation."""
+    with cache._lock:
+        entry_bytes = sum(v.nbytes for v in cache._entries.values())
+        assert cache.stats.bytes_cached == entry_bytes, ctx
+        assert cache.stats.entries == len(cache._entries), ctx
+        assert cache.stats.bytes_cached <= cache.max_bytes, \
+            f"{ctx}: memory budget exceeded"
+        for v in cache._entries.values():
+            assert not v.flags.writeable, f"{ctx}: mutable cached entry"
+    if cache.spill_dir is not None:
+        disk = sum(p.stat().st_size
+                   for p in cache.spill_dir.glob("*.npz"))
+        assert cache.stats.spill_bytes == disk, \
+            f"{ctx}: spill accounting drifted from the directory"
+        if cache.spill_max_bytes is not None:
+            assert disk <= cache.spill_max_bytes, \
+                f"{ctx}: spill budget exceeded"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lru_cache_invariants_under_random_ops(seed, tmp_path):
+    rng = np.random.default_rng(seed)
+    keys = [(f"v{v}", i) for v in (1, 2) for i in range(8)]
+    make = lambda: LRUCache(max_bytes=MEM_BUDGET, spill_dir=tmp_path,
+                            spill_max_bytes=SPILL_BUDGET)
+    cache = make()
+    # Every value ever put per key.  The memory tier serves the *last*
+    # put, but the disk tier is first-write-wins (a re-put of an
+    # existing file only refreshes recency — by design: keys are
+    # content-addressed up to ω quantization, so all values of one key
+    # agree within tolerance), so a get may legitimately surface any
+    # previously put value — just never a perturbed or foreign one.
+    model: dict[tuple, list[np.ndarray]] = {}
+
+    for step in range(N_OPS):
+        ctx = f"seed={seed} step={step}"
+        op = rng.choice(["put", "get", "clear", "prune", "restart"],
+                        p=[0.42, 0.42, 0.06, 0.05, 0.05])
+        key = keys[int(rng.integers(len(keys)))]
+        if op == "put":
+            value = _value(rng)
+            stored = cache.put(key, value)
+            if stored is not None:
+                assert not stored.flags.writeable, ctx
+                np.testing.assert_array_equal(stored, value, err_msg=ctx)
+            model.setdefault(key, []).append(value.copy())
+        elif op == "get":
+            got = cache.get(key)
+            # Either tier may have evicted (or prune/restart dropped it),
+            # but a served value must be bit-exact against some put for
+            # this key — in particular the spill round-trip through npz
+            # must not perturb a single bit.
+            if got is not None:
+                assert key in model, f"{ctx}: value appeared from nowhere"
+                assert any(v.dtype == got.dtype and np.array_equal(got, v)
+                           for v in model[key]), \
+                    f"{ctx}: served value matches no put for this key"
+                assert not got.flags.writeable, ctx
+        elif op == "clear":
+            cache.clear()
+        elif op == "prune":
+            # Keep one version alive; pruned keys may survive in memory
+            # (prune is a disk-tier operation) but never serve stale data.
+            live = f"v{int(rng.integers(1, 3))}"
+            cache.prune_spill([live])
+        else:  # restart: a fresh instance over the same directory
+            cache = make()
+        _check_cache(cache, ctx)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_spill_round_trip_bit_exact_across_restart(seed, tmp_path):
+    """Direct spill round-trip: what one instance writes, a cold one
+    must reload bit-identically (float32 and float64 payloads)."""
+    rng = np.random.default_rng(seed)
+    writer = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path,
+                      spill_max_bytes=1 << 20)
+    values = {}
+    for i in range(16):
+        dtype = np.float64 if i % 2 else np.float32
+        value = rng.standard_normal((9, 7)).astype(dtype)
+        values[("v1", i)] = value
+        writer.put(("v1", i), value)
+    reader = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path,
+                      spill_max_bytes=1 << 20)
+    for key, value in values.items():
+        got = reader.get(key)
+        assert got is not None and got.dtype == value.dtype
+        np.testing.assert_array_equal(got, value)
+    assert reader.stats.spill_hits == len(values)
+
+
+POOL_BUDGET = 64 * 1024
+POOL_SHAPES = [(8,), (16, 16), (32, 32), (7, 9), (64, 64)]
+
+
+def _check_pool(pool: BufferPool, high_water_before: int, ctx: str) -> None:
+    with pool._lock:
+        free_bytes = sum(a.nbytes for bucket in pool._free.values()
+                         for a in bucket)
+        assert pool.stats.bytes_pooled == free_bytes, ctx
+        assert pool.stats.bytes_pooled <= pool.max_bytes, \
+            f"{ctx}: pool budget exceeded"
+        assert pool.stats.high_water_bytes >= high_water_before, \
+            f"{ctx}: high-water mark went backwards"
+        assert pool.stats.high_water_bytes >= pool.stats.bytes_pooled, ctx
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_buffer_pool_invariants_under_random_ops(seed):
+    rng = np.random.default_rng(seed)
+    pool = BufferPool(max_bytes=POOL_BUDGET)
+    leased: dict[int, np.ndarray] = {}      # id -> live buffer we hold
+
+    for step in range(N_OPS):
+        ctx = f"seed={seed} step={step}"
+        high_water = pool.stats.high_water_bytes
+        op = rng.choice(["acquire", "release", "zeros", "clear"],
+                        p=[0.45, 0.40, 0.10, 0.05])
+        if op in ("acquire", "zeros"):
+            shape = POOL_SHAPES[int(rng.integers(len(POOL_SHAPES)))]
+            dtype = np.float32 if rng.integers(2) else np.float64
+            arr = (pool.zeros(shape, dtype) if op == "zeros"
+                   else pool.acquire(shape, dtype))
+            assert arr.shape == tuple(shape) and arr.dtype == dtype, ctx
+            if op == "zeros":
+                assert not arr.any(), ctx
+            # No double-lease: the pool must never hand out memory that
+            # is still leased.  Holding every leased array keeps its id
+            # stable, so an id collision here is a real aliasing bug.
+            assert id(arr) not in leased, f"{ctx}: double-leased buffer"
+            arr.fill(step)          # dirty it: the next lessee must cope
+            leased[id(arr)] = arr
+        elif op == "release" and leased:
+            key = list(leased)[int(rng.integers(len(leased)))]
+            pool.release(leased.pop(key))
+        elif op == "clear":
+            pool.clear()
+        _check_pool(pool, high_water, ctx)
+
+    # Conservation: every acquire was either a recycled hit or a miss.
+    assert pool.stats.hits + pool.stats.misses > 0
+    assert pool.stats.bytes_recycled >= 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pool_never_hands_out_released_views(seed):
+    """Releasing a view must evict it, not pool aliased memory."""
+    rng = np.random.default_rng(seed)
+    pool = BufferPool(max_bytes=POOL_BUDGET)
+    base = pool.acquire((32, 32))
+    evictions = pool.stats.evictions
+    pool.release(base[:16])          # a view: not poolable
+    assert pool.stats.evictions == evictions + 1
+    fresh = pool.acquire((16, 32))
+    assert fresh.base is None
+    assert not np.shares_memory(fresh, base)

@@ -1,0 +1,242 @@
+"""Asyncio front-end: awaitable results under the server's scheduling."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core.inference import predict_batch
+from repro.serve import (
+    AsyncPredictionServer, DeadlineExceeded, ModelRegistry,
+    PredictionServer, ServerConfig, ServerOverloaded,
+)
+
+RNG = np.random.default_rng(31)
+
+
+@pytest.fixture(scope="module")
+def served():
+    problem = PoissonProblem2D(16)
+    model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=1)
+    registry = ModelRegistry()
+    registry.register_model("m", model, problem)
+    return model, problem, registry
+
+
+class TestAsyncFrontend:
+    def test_await_matches_predict_batch(self, served):
+        model, problem, registry = served
+        omega = RNG.uniform(-3, 3, 4)
+        ref = predict_batch(model, problem, omega)[0]
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=4, max_wait_ms=5, workers=1, cache_bytes=0))
+            async with AsyncPredictionServer(server) as aserver:
+                return await aserver.predict("m", omega)
+
+        np.testing.assert_allclose(asyncio.run(run()), ref, atol=1e-6)
+
+    def test_gathered_lane_matches_reference(self, served):
+        model, problem, registry = served
+        omegas = RNG.uniform(-3, 3, size=(6, 4))
+        ref = predict_batch(model, problem, omegas)
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=4, max_wait_ms=10, workers=2, cache_bytes=0))
+            async with AsyncPredictionServer(server) as aserver:
+                return await aserver.predict_many("m", omegas), server
+
+        got, server = asyncio.run(run())
+        np.testing.assert_allclose(got, ref, atol=1e-6)
+        # Concurrent awaitables coalesced into fused forwards.
+        assert server.stats.batches < len(omegas)
+        assert not server.running        # __aexit__ closed the fleet
+
+    def test_context_manager_starts_and_closes(self, served):
+        *_, registry = served
+
+        async def run():
+            server = PredictionServer(registry)
+            assert not server.running
+            async with AsyncPredictionServer(server) as aserver:
+                assert server.running
+                assert aserver.server is server
+            return server
+
+        assert not asyncio.run(run()).running
+
+    def test_deadline_raises_through_await(self, served):
+        *_, registry = served
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+            release = threading.Event()
+            forward = server._forward
+
+            def slow_forward(entry, omegas, resolution):
+                release.wait(timeout=30)
+                return forward(entry, omegas, resolution)
+
+            server._forward = slow_forward
+            async with AsyncPredictionServer(server) as aserver:
+                filler = aserver.submit("m", np.full(4, -1.0))
+                doomed = aserver.submit("m", np.zeros(4), deadline_s=0.01)
+                await asyncio.sleep(0.05)
+                release.set()
+                with pytest.raises(DeadlineExceeded):
+                    await doomed
+                await filler
+            return server
+
+        server = asyncio.run(run())
+        assert server.stats.expired == 1
+
+    def test_overload_raises_synchronously_not_behind_await(self, served):
+        *_, registry = served
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0,
+                max_pending=1))
+            started = threading.Event()
+            release = threading.Event()
+            forward = server._forward
+
+            def slow_forward(entry, omegas, resolution):
+                started.set()
+                release.wait(timeout=30)
+                return forward(entry, omegas, resolution)
+
+            server._forward = slow_forward
+            async with AsyncPredictionServer(server) as aserver:
+                filler = aserver.submit("m", np.full(4, -1.0))
+                await asyncio.to_thread(started.wait, 30)
+                queued = aserver.submit("m", np.full(4, 1.0))
+                # No await needed for the rejection — submit itself
+                # raises, so clients can shed load inline.
+                with pytest.raises(ServerOverloaded):
+                    aserver.submit("m", np.full(4, 2.0))
+                release.set()
+                await asyncio.gather(filler, queued)
+            return server
+
+        assert asyncio.run(run()).stats.rejected == 1
+
+    def test_priorities_reach_the_queue(self, served):
+        *_, registry = served
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+            order = []
+            started = threading.Event()
+            release = threading.Event()
+            forward = server._forward
+
+            def hooked(entry, omegas, resolution):
+                if not started.is_set():
+                    started.set()
+                    release.wait(timeout=30)
+                else:
+                    order.extend(float(w[0]) for w in omegas)
+                return forward(entry, omegas, resolution)
+
+            server._forward = hooked
+            async with AsyncPredictionServer(server) as aserver:
+                filler = aserver.submit("m", np.full(4, -1.0))
+                await asyncio.to_thread(started.wait, 30)
+                low = aserver.submit("m", np.full(4, 10.0), priority=0)
+                high = aserver.submit("m", np.full(4, 100.0), priority=9)
+                release.set()
+                await asyncio.gather(filler, low, high)
+            return order
+
+        assert asyncio.run(run()) == [100.0, 10.0]
+
+    def test_cancelled_request_does_not_kill_worker(self, served):
+        """asyncio cancellation propagates to the queued server future;
+        resolving it later must not raise InvalidStateError in the
+        worker — the request is skipped and the fleet keeps serving."""
+        model, problem, registry = served
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+            started = threading.Event()
+            release = threading.Event()
+            forward = server._forward
+
+            def hooked(entry, omegas, resolution):
+                if not started.is_set():
+                    started.set()
+                    release.wait(timeout=30)
+                return forward(entry, omegas, resolution)
+
+            server._forward = hooked
+            async with AsyncPredictionServer(server) as aserver:
+                filler = aserver.submit("m", np.full(4, -1.0))
+                await asyncio.to_thread(started.wait, 30)
+                doomed = aserver.submit("m", np.full(4, 5.0))
+                doomed.cancel()
+                release.set()
+                await filler
+                # The worker survived the cancelled request and still
+                # serves: a fresh submit resolves correctly.
+                omega = RNG.uniform(-3, 3, 4)
+                u = await aserver.predict("m", omega)
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+                return server, omega, u
+
+        server, omega, u = asyncio.run(run())
+        np.testing.assert_allclose(
+            u, predict_batch(*served[:2], omega)[0], atol=1e-6)
+        assert server.stats.errors == 0
+        assert not server._inflight     # cancelled dedup slot released
+
+    def test_wait_for_timeout_does_not_wedge_the_fleet(self, served):
+        """A client-side asyncio timeout cancels the wrapped future;
+        everything submitted afterwards must still be served."""
+        *_, registry = served
+
+        async def run():
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=2, max_wait_ms=1, workers=1, cache_bytes=0))
+            release = threading.Event()
+            forward = server._forward
+
+            def slow_forward(entry, omegas, resolution):
+                release.wait(timeout=30)
+                return forward(entry, omegas, resolution)
+
+            server._forward = slow_forward
+            async with AsyncPredictionServer(server) as aserver:
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        aserver.predict("m", np.full(4, 1.0)), timeout=0.01)
+                release.set()
+                lane = [aserver.submit("m", RNG.uniform(-3, 3, 4))
+                        for _ in range(4)]
+                await asyncio.gather(*lane)
+            return server
+
+        server = asyncio.run(run())
+        assert server.stats.errors == 0
+        assert not server._inflight
+
+    def test_cache_hit_resolves_without_workers_running(self, served):
+        *_, registry = served
+        server = PredictionServer(registry)
+        omega = RNG.uniform(-3, 3, 4)
+        expected = server.predict("m", omega)    # sync warm-up fill
+
+        async def run():
+            # Wrapped but never started: a cache hit still awaits fine.
+            return await AsyncPredictionServer(server).predict("m", omega)
+
+        np.testing.assert_array_equal(asyncio.run(run()), expected)

@@ -181,3 +181,78 @@ class TestSpill:
         cache.put(("v1", "a"), _field(1.0))
         assert cache.stats.spill_writes == 0
         assert cache.spill_dir is None
+
+
+class TestSpillBudget:
+    """Bounded disk tier: LRU file eviction under spill_max_bytes."""
+
+    def _cache(self, tmp_path, budget):
+        return LRUCache(max_bytes=1 << 20, spill_dir=tmp_path,
+                        spill_max_bytes=budget)
+
+    def _dir_bytes(self, tmp_path):
+        return sum(p.stat().st_size for p in tmp_path.glob("*.npz"))
+
+    def test_writes_stay_within_budget(self, tmp_path):
+        budget = 3 * 1024
+        cache = self._cache(tmp_path, budget)
+        for i in range(16):
+            cache.put(("v1", i), _field(float(i)))
+        assert self._dir_bytes(tmp_path) <= budget
+        assert cache.stats.spill_bytes == self._dir_bytes(tmp_path)
+        assert cache.stats.spill_evictions > 0
+
+    def test_least_recently_used_file_evicted_first(self, tmp_path):
+        one_file = None
+        cache = self._cache(tmp_path, 1 << 20)
+        cache.put(("v1", 0), _field(0.0))
+        one_file = self._dir_bytes(tmp_path)
+        # Budget for exactly two files; touch 'a' so 'b' is the LRU.
+        cache = self._cache(tmp_path, int(2.5 * one_file))
+        cache.put(("v1", "a"), _field(1.0))
+        cache.put(("v1", "b"), _field(2.0))
+        cache.clear()                       # force gets to hit the disk
+        assert cache.get(("v1", "a")) is not None
+        cache.clear()
+        cache.put(("v1", "c"), _field(3.0))  # evicts one file: 'b'
+        cache.clear()
+        assert cache.get(("v1", "b")) is None
+        np.testing.assert_array_equal(cache.get(("v1", "a")), _field(1.0))
+        cache.clear()
+        np.testing.assert_array_equal(cache.get(("v1", "c")), _field(3.0))
+
+    def test_oversized_value_not_written(self, tmp_path):
+        cache = self._cache(tmp_path, 64)
+        cache.put(("v1", "small"), _field(1.0, n=2))
+        files_before = set(tmp_path.glob("*.npz"))
+        cache.put(("v1", "huge"), _field(2.0, n=64))
+        # The huge value must not wipe the tier just to be evicted next.
+        assert set(tmp_path.glob("*.npz")) == files_before
+
+    def test_budget_recovered_after_restart(self, tmp_path):
+        cache = self._cache(tmp_path, 1 << 20)
+        for i in range(4):
+            cache.put(("v1", i), _field(float(i)))
+        on_disk = self._dir_bytes(tmp_path)
+        fresh = self._cache(tmp_path, 1 << 20)
+        assert fresh.stats.spill_bytes == on_disk
+        # A tighter budget on restart trims the directory immediately.
+        trimmed = self._cache(tmp_path, on_disk // 2)
+        assert self._dir_bytes(tmp_path) <= on_disk // 2
+        assert trimmed.stats.spill_bytes == self._dir_bytes(tmp_path)
+
+    def test_prune_updates_accounting(self, tmp_path):
+        cache = self._cache(tmp_path, 1 << 20)
+        cache.put(("v1", "a"), _field(1.0))
+        cache.put(("v2", "a"), _field(2.0))
+        before = cache.stats.spill_bytes
+        assert cache.prune_spill(["v2"]) == 1
+        assert cache.stats.spill_bytes < before
+        assert cache.stats.spill_bytes == self._dir_bytes(tmp_path)
+
+    def test_unbudgeted_spill_unchanged(self, tmp_path):
+        cache = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path)
+        for i in range(8):
+            cache.put(("v1", i), _field(float(i)))
+        assert cache.stats.spill_evictions == 0
+        assert len(list(tmp_path.glob("*.npz"))) == 8

@@ -1,0 +1,360 @@
+"""Deterministic scheduling semantics: priorities, deadlines, backpressure.
+
+Every test here pins an ordering or rejection the async front-end's
+latency story depends on, using events — never sleeps — to hold the
+single worker in a known state while the queue is arranged.
+"""
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.serve import (
+    DeadlineExceeded, MicroBatcher, ModelRegistry, PredictRequest,
+    PredictionServer, RequestQueue, ServerConfig, ServerOverloaded,
+)
+
+RNG = np.random.default_rng(23)
+
+
+def _request(priority=0, tag=0.0, deadline_s=None):
+    expires = time.perf_counter() + deadline_s if deadline_s is not None \
+        else None
+    return PredictRequest(model_name="m", omega=np.full(4, tag),
+                          resolution=16, future=Future(), key=("k", tag),
+                          priority=priority, deadline_s=deadline_s,
+                          expires_at=expires)
+
+
+@pytest.fixture(scope="module")
+def served():
+    problem = PoissonProblem2D(16)
+    model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=1)
+    registry = ModelRegistry()
+    registry.register_model("m", model, problem)
+    return model, problem, registry
+
+
+class _BlockedWorker:
+    """Hold the server's single worker inside a filler forward."""
+
+    def __init__(self, server):
+        self.server = server
+        self.order: list[float] = []
+        self.started = threading.Event()
+        self.release = threading.Event()
+        forward = server._forward
+
+        def hooked(entry, omegas, resolution):
+            if not self.started.is_set():
+                self.started.set()
+                assert self.release.wait(timeout=30)
+            else:
+                self.order.extend(float(w[0]) for w in omegas)
+            return forward(entry, omegas, resolution)
+
+        server._forward = hooked
+
+    def block(self) -> Future:
+        """Submit the filler and wait until the worker is inside it."""
+        filler = self.server.submit("m", np.full(4, -1.0))
+        assert self.started.wait(timeout=30)
+        return filler
+
+
+class TestRequestQueue:
+    def test_higher_priority_dequeues_first(self):
+        q = RequestQueue()
+        q.put(_request(priority=0, tag=1))
+        q.put(_request(priority=5, tag=2))
+        q.put(_request(priority=1, tag=3))
+        tags = [q.get().omega[0] for _ in range(3)]
+        assert tags == [2, 3, 1]
+
+    def test_fifo_within_a_priority_level(self):
+        q = RequestQueue()
+        for tag in (1, 2, 3):
+            q.put(_request(priority=7, tag=tag))
+        assert [q.get().omega[0] for _ in range(3)] == [1, 2, 3]
+
+    def test_bounded_queue_raises_full(self):
+        q = RequestQueue(maxsize=2)
+        q.put(_request(), block=False)
+        q.put(_request(), block=False)
+        with pytest.raises(queue.Full):
+            q.put(_request(), block=False)
+
+    def test_collect_drains_priority_order(self):
+        q = RequestQueue()
+        q.put(_request(priority=0, tag=1))
+        q.put(_request(priority=0, tag=2))
+        q.put(_request(priority=9, tag=3))
+        batch = MicroBatcher(max_batch=2, max_wait_ms=0).collect(q)
+        assert [r.omega[0] for r in batch] == [3, 1]
+
+
+class TestCollectExpiry:
+    def test_expired_request_routed_to_hook_not_batch(self):
+        q = RequestQueue()
+        dead = _request(tag=1, deadline_s=-1.0)     # already past due
+        live = _request(tag=2)
+        q.put(dead)
+        q.put(live)
+        expired = []
+        batch = MicroBatcher(max_batch=8, max_wait_ms=0).collect(
+            q, on_expired=expired.append)
+        assert [r.omega[0] for r in batch] == [2]
+        assert expired == [dead]
+
+    def test_expired_requests_do_not_consume_batch_slots(self):
+        q = RequestQueue()
+        for tag in (1, 2, 3):
+            q.put(_request(tag=tag, deadline_s=-1.0))
+        q.put(_request(tag=4))
+        expired = []
+        batch = MicroBatcher(max_batch=1, max_wait_ms=0).collect(
+            q, on_expired=expired.append)
+        assert [r.omega[0] for r in batch] == [4]
+        assert len(expired) == 3
+
+    def test_without_hook_expiry_is_ignored(self):
+        # Legacy callers (no on_expired) keep the old drain-everything
+        # contract.
+        q = RequestQueue()
+        q.put(_request(tag=1, deadline_s=-1.0))
+        batch = MicroBatcher(max_batch=4, max_wait_ms=0).collect(q)
+        assert len(batch) == 1
+
+
+class TestPriorityEndToEnd:
+    def test_high_priority_jumps_saturated_queue(self, served):
+        """With the single worker pinned, queued high-priority requests
+        must all run before queued low-priority ones, FIFO per lane."""
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+        hook = _BlockedWorker(server)
+        with server:
+            hook.block()
+            lows = [server.submit("m", np.full(4, 10.0 + i), priority=0)
+                    for i in range(3)]
+            highs = [server.submit("m", np.full(4, 100.0 + i), priority=5)
+                     for i in range(3)]
+            hook.release.set()
+            for f in lows + highs:
+                f.result(timeout=30)
+        assert hook.order == [100.0, 101.0, 102.0, 10.0, 11.0, 12.0]
+
+    def test_equal_priorities_keep_fifo(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+        hook = _BlockedWorker(server)
+        with server:
+            hook.block()
+            futures = [server.submit("m", np.full(4, 10.0 + i))
+                       for i in range(4)]
+            hook.release.set()
+            for f in futures:
+                f.result(timeout=30)
+        assert hook.order == [10.0, 11.0, 12.0, 13.0]
+
+
+class TestDeadlines:
+    def test_expired_deadline_fails_keyed_without_forward(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0))
+        hook = _BlockedWorker(server)
+        with server:
+            hook.block()
+            doomed = server.submit("m", np.full(4, 42.0), deadline_s=0.01)
+            ok = server.submit("m", np.full(4, 7.0), deadline_s=60.0)
+            time.sleep(0.05)            # let the queued deadline lapse
+            hook.release.set()
+            with pytest.raises(DeadlineExceeded) as info:
+                doomed.result(timeout=30)
+            ok.result(timeout=30)
+        # Keyed error: names the model and carries the budget it missed.
+        assert info.value.model_name == "m"
+        assert info.value.deadline_s == pytest.approx(0.01)
+        assert info.value.waited_s >= 0.01
+        # The digest matches the spill file-name digest exactly, so a
+        # logged rejection correlates with its cache entry on disk.
+        from repro.serve.cache import key_digest
+
+        assert info.value.key_digest == key_digest(
+            server._key(registry.get("m"), np.full(4, 42.0), 16))
+        # The expired request never entered a fused forward.
+        assert 42.0 not in hook.order
+        assert 7.0 in hook.order
+        assert server.stats.expired == 1
+        assert server.stats.errors == 0
+        assert not server._inflight
+
+    def test_deadline_exceeded_is_a_timeout_error(self, served):
+        *_, registry = served
+        server = PredictionServer(registry)
+        with pytest.raises(TimeoutError):
+            server.predict("m", np.zeros(4), deadline_s=-1.0)
+
+    def test_sync_frontend_honors_spent_budget(self, served):
+        """A dead-on-arrival deadline expires on the sync path too —
+        semantics must not depend on whether workers are running."""
+        *_, registry = served
+        server = PredictionServer(registry)
+        future = server.submit("m", np.zeros(4), deadline_s=0.0)
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=1)
+        assert server.stats.expired == 1
+        assert not server._inflight
+
+    def test_default_deadline_from_config(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            default_deadline_s=-1.0))
+        with pytest.raises(DeadlineExceeded):
+            server.predict("m", np.zeros(4))
+        # An explicit submit deadline overrides the config default.
+        u = server.predict("m", np.zeros(4), deadline_s=60.0)
+        assert u.shape == (16, 16)
+
+    def test_cache_hit_beats_deadline(self, served):
+        """A hit resolves instantly, so even a dead deadline is met."""
+        *_, registry = served
+        server = PredictionServer(registry)
+        omega = RNG.uniform(-3, 3, 4)
+        server.predict("m", omega)
+        u = server.predict("m", omega, deadline_s=0.0)
+        assert u.shape == (16, 16)
+        assert server.stats.cache_hits == 1
+
+
+class TestBackpressure:
+    def test_overflow_rejects_keyed_and_counts(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0,
+            max_pending=2))
+        hook = _BlockedWorker(server)
+        with server:
+            hook.block()                 # worker busy, queue empty
+            queued = [server.submit("m", np.full(4, 10.0 + i))
+                      for i in range(2)]
+            with pytest.raises(ServerOverloaded) as info:
+                server.submit("m", np.full(4, 99.0))
+            hook.release.set()
+            for f in queued:
+                f.result(timeout=30)
+        assert info.value.max_pending == 2
+        assert info.value.pending == 2
+        assert info.value.model_name == "m"
+        assert server.stats.rejected == 1
+        assert server.stats.errors == 0
+        # The rejected request left no state behind: not in flight, and
+        # 99 never reached a forward.
+        assert 99.0 not in hook.order
+        assert not server._inflight
+
+    def test_rejected_request_can_be_resubmitted(self, served):
+        model, problem, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0,
+            max_pending=1))
+        hook = _BlockedWorker(server)
+        omega = RNG.uniform(-3, 3, 4)
+        with server:
+            hook.block()
+            queued = server.submit("m", np.full(4, 10.0))
+            with pytest.raises(ServerOverloaded):
+                server.submit("m", omega)
+            hook.release.set()
+            queued.result(timeout=30)    # queue drained, slot free again
+            # The retry must compute fresh, not attach to a future the
+            # rejection abandoned.
+            u = server.predict("m", omega, timeout=30)
+        from repro.core.inference import predict_batch
+
+        np.testing.assert_allclose(u, predict_batch(model, problem, omega)[0],
+                                   atol=1e-6)
+        assert server.stats.rejected == 1
+
+    def test_cache_hit_bypasses_full_queue(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, max_pending=1))
+        omega = RNG.uniform(-3, 3, 4)
+        server.predict("m", omega)       # fill the cache pre-start
+        hook = _BlockedWorker(server)
+        with server:
+            hook.block()
+            server.submit("m", np.full(4, 10.0))     # queue now full
+            hit = server.submit("m", omega)          # resolves instantly
+            assert hit.done()
+            hook.release.set()
+        assert server.stats.rejected == 0
+
+    def test_dedup_twin_bypasses_full_queue(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0,
+            max_pending=1))
+        hook = _BlockedWorker(server)
+        omega = RNG.uniform(-3, 3, 4)
+        with server:
+            hook.block()
+            first = server.submit("m", omega)        # queue now full
+            twin = server.submit("m", omega)         # attaches, no slot
+            assert twin is first
+            hook.release.set()
+            first.result(timeout=30)
+        assert server.stats.dedup_hits == 1
+        assert server.stats.rejected == 0
+
+    def test_twin_attaching_in_rejection_window_is_failed_not_orphaned(
+            self, served):
+        """A twin that attaches to an in-flight future in the instant
+        before its submit is rejected must receive the rejection through
+        the future — never wait forever on a request nothing owns."""
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0,
+            max_pending=1))
+        omega = RNG.uniform(-3, 3, 4)
+        attached = {}
+        real_put = server._queue.put
+
+        def racing_put(request, block=True, timeout=None):
+            if request.omega[0] == omega[0]:
+                # The race window: the in-flight entry exists, the queue
+                # slot does not.  A twin submitted now takes the dedup
+                # path and attaches to the about-to-be-rejected future.
+                attached["twin"] = server.submit("m", omega)
+                raise queue.Full
+            return real_put(request, block, timeout)
+
+        server._queue.put = racing_put
+        with server:
+            with pytest.raises(ServerOverloaded):
+                server.submit("m", omega)
+            with pytest.raises(ServerOverloaded):
+                attached["twin"].result(timeout=5)
+        assert server.stats.dedup_hits == 1
+        assert server.stats.rejected == 1
+        assert not server._inflight
+
+    def test_unbounded_by_default(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            max_batch=4, max_wait_ms=1, workers=1, cache_bytes=0))
+        with server:
+            futures = [server.submit("m", RNG.uniform(-3, 3, 4))
+                       for _ in range(32)]
+            for f in futures:
+                f.result(timeout=60)
+        assert server.stats.rejected == 0

@@ -166,3 +166,34 @@ class TestServe:
         out = capsys.readouterr().out
         assert "0 tiled forwards" not in out
         assert "tiled forwards" in out
+
+    def test_serve_bounded_queue_completes_under_backpressure(
+            self, trained_checkpoint, capsys):
+        # A tiny queue forces rejections; the CLI client backs off and
+        # retries, so the run still serves every request.
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "12", "--max-batch", "2",
+                     "--max-pending", "2", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "served 12 requests" in out
+        assert "backpressure rejections" in out
+
+    def test_serve_default_deadline_reports_expiries(
+            self, trained_checkpoint, capsys):
+        # An impossible budget expires every non-hit request; the run
+        # must finish cleanly and report them instead of crashing.
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "6", "--default-deadline", "0",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "6 expired deadlines" in out
+
+    def test_serve_spill_budget(self, trained_checkpoint, tmp_path,
+                                capsys):
+        cache_dir = tmp_path / "spill"
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "6", "--cache-dir", str(cache_dir),
+                     "--spill-mb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "spill writes" in out
+        assert cache_dir.exists()
