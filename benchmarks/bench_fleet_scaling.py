@@ -1,0 +1,203 @@
+"""FLEET SCALING — serving QPS vs shard count (fig10 story for serving).
+
+The paper's scaling figures show distributed *training* throughput
+growing with worker count; the fleet extends that claim to *serving*:
+consistent-hash sharding spreads the model registry and request load
+over N single-worker shards, each with its own process-pool executor,
+so serving throughput should scale with shards the way fig10's epoch
+time scales with ranks.
+
+Measured here: a fixed mixed-model request storm against fleets of 1, 2
+and 4 shards (R=1 so each key has one home and the load partition is
+pure).  Each shard runs ``executor='process'`` with one worker — the
+fleet's parallelism *is* the shard count.  Every run also replays the
+routing hops through ``SimulatedCommunicator`` with a Bridges-2-like
+interconnect model, so the JSON reports virtual comm seconds next to
+measured wall time — the simulated-fleet cost the ROADMAP's scale-out
+story tracks.
+
+Gates (exit nonzero on failure):
+
+* **exactness** — a sampled routed answer matches ``predict_batch`` to
+  <= 1e-5 at every shard count;
+* **scaling** — on hosts with >= 4 CPUs, 4-shard QPS >= 1.5x 1-shard
+  QPS.  Hosts without the cores record the skip reason in the JSON
+  instead (a 1-core container cannot honestly show fleet speedup).
+
+``--json BENCH_fleet_scaling.json`` is uploaded by CI's fleet-smoke job.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core.inference import predict_batch
+from repro.data.sobol import sample_omega
+from repro.perf import BRIDGES2_CPU
+from repro.serve import FleetConfig, ServerConfig, ShardedFleet
+from repro.serve.executor import default_workers
+
+try:
+    from .common import bench_cli, report
+except ImportError:  # standalone execution
+    from common import bench_cli, report
+
+RESOLUTION = 16
+BASE_FILTERS = 8
+DEPTH = 3            # deep enough that one fused forward takes real time
+N_MODELS = 8         # routing keys; spread over the ring
+N_REQUESTS = 96
+MAX_BATCH = 8
+SHARD_COUNTS = (1, 2, 4)
+ROUNDS = 3           # best-of: shared hosts are noisy
+MIN_SPEEDUP = 1.5
+TOL = 1e-5
+
+
+def _time_model(message_bytes: int, world_size: int) -> float:
+    """Alpha-beta point-to-point cost on a Bridges-2-like interconnect."""
+    return (message_bytes / BRIDGES2_CPU.bandwidth_bytes_per_s
+            + BRIDGES2_CPU.latency_s)
+
+
+def _make_fleet(shards: int) -> tuple[ShardedFleet, MGDiffNet,
+                                      PoissonProblem2D]:
+    problem = PoissonProblem2D(RESOLUTION)
+    model = MGDiffNet(ndim=2, base_filters=BASE_FILTERS, depth=DEPTH, rng=42)
+    fleet = ShardedFleet(FleetConfig(
+        shards=shards, replicas=1, time_model=_time_model,
+        server=ServerConfig(max_batch=MAX_BATCH, max_wait_ms=2.0,
+                            workers=1, cache_bytes=0, executor="process")))
+    # One set of weights under N names: N routing keys spread over the
+    # ring, zero extra training cost.
+    for i in range(N_MODELS):
+        fleet.register_model(f"m{i}", model, problem)
+    return fleet, model, problem
+
+
+def _measure(shards: int, n_requests: int, rounds: int) -> dict:
+    fleet, model, problem = _make_fleet(shards)
+    names = [f"m{i}" for i in range(N_MODELS)]
+    omegas = sample_omega(n_requests, 4)
+    check_idx = n_requests // 2
+    best = None
+    divergence = 0.0
+    with fleet:
+        # Warm every shard's process pool and the conv-plan caches.
+        for name in names:
+            fleet.predict(name, omegas[0], timeout=120)
+        for _ in range(max(1, rounds)):
+            t0 = time.perf_counter()
+            futures = [fleet.submit(names[i % N_MODELS], w)
+                       for i, w in enumerate(omegas)]
+            fields = [f.result(timeout=300) for f in futures]
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        ref = predict_batch(
+            model, problem, omegas[check_idx])[0]
+        divergence = float(np.abs(
+            fields[check_idx] - ref).max())
+    s = fleet.stats
+    return {"shards": shards, "wall_s": best,
+            "qps": n_requests / best,
+            "p50_ms": s.p50 * 1e3, "p99_ms": s.p99 * 1e3,
+            "divergence": divergence,
+            "virtual_comm_s": s.virtual_comm_seconds,
+            "send_calls": s.send_calls, "lost": s.lost}
+
+
+def _run(n_requests: int = N_REQUESTS, rounds: int = ROUNDS,
+         shard_counts=SHARD_COUNTS) -> dict:
+    rows = [_measure(s, n_requests, rounds) for s in shard_counts]
+    base = rows[0]["qps"]
+    for row in rows:
+        row["speedup"] = row["qps"] / base
+    return {"resolution": RESOLUTION, "base_filters": BASE_FILTERS,
+            "depth": DEPTH, "n_models": N_MODELS,
+            "n_requests": n_requests, "rounds": rounds,
+            "cpus": default_workers(), "rows": rows}
+
+
+def _report(result: dict) -> None:
+    report("fleet_scaling",
+           ["shards", "qps", "speedup", "p99_ms", "virtual_comm_ms",
+            "divergence"],
+           [[r["shards"], round(r["qps"], 1), round(r["speedup"], 2),
+             round(r["p99_ms"], 2), round(r["virtual_comm_s"] * 1e3, 3),
+             f"{r['divergence']:.1e}"] for r in result["rows"]])
+
+
+def _gate(result: dict) -> int:
+    """Exactness and conservation always; speedup when cores allow."""
+    status = 0
+    for row in result["rows"]:
+        if row["divergence"] > TOL:
+            print(f"FAIL: {row['shards']}-shard routed answer diverges "
+                  f"from predict_batch by {row['divergence']:.2e} > {TOL}")
+            status = 1
+        if row["lost"] != 0:
+            print(f"FAIL: {row['shards']}-shard fleet lost "
+                  f"{row['lost']} requests (conservation violated)")
+            status = 1
+    top = result["rows"][-1]
+    if result["cpus"] >= top["shards"]:
+        result["speedup_gate"] = "enforced"
+        if top["speedup"] < MIN_SPEEDUP:
+            print(f"FAIL: {top['shards']}-shard QPS only "
+                  f"{top['speedup']:.2f}x 1-shard (< {MIN_SPEEDUP}x on a "
+                  f"{result['cpus']}-CPU host)")
+            status = 1
+        else:
+            print(f"scaling gate ok: {top['shards']} shards = "
+                  f"{top['speedup']:.2f}x 1-shard QPS (>= {MIN_SPEEDUP}x)")
+    else:
+        result["speedup_gate"] = (
+            f"skipped: host has {result['cpus']} CPU(s) < "
+            f"{top['shards']} shards")
+        print(f"scaling gate skipped ({result['cpus']} CPU(s) available); "
+              f"measured {top['shards']}-shard speedup "
+              f"{top['speedup']:.2f}x")
+    return status
+
+
+def test_fleet_scaling(benchmark):
+    # Downscaled for wall time: the shape under test is exact routed
+    # answers and a non-degenerate QPS at every fleet size; the hard
+    # 1.5x gate runs at full size in __main__ (CI fleet-smoke job).
+    result = benchmark.pedantic(
+        lambda: _run(n_requests=32, rounds=1, shard_counts=(1, 2)),
+        rounds=1, iterations=1)
+    _report(result)
+    for row in result["rows"]:
+        assert row["divergence"] <= TOL
+        assert row["lost"] == 0
+        assert row["qps"] > 0
+
+
+if __name__ == "__main__":
+    def extra(p):
+        p.add_argument("--requests", type=int, default=N_REQUESTS)
+        p.add_argument("--rounds", type=int, default=ROUNDS)
+        p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write a JSON artifact (used by CI)")
+
+    args = bench_cli("bench_fleet_scaling", extra_args=extra)
+    result = _run(args.requests, args.rounds)
+    _report(result)
+    status = _gate(result)
+    if args.json:
+        import json
+        from pathlib import Path
+
+        from repro.backend import get_backend, get_default_dtype
+
+        result["backend"] = get_backend().name
+        result["dtype"] = np.dtype(get_default_dtype()).name
+        Path(args.json).write_text(json.dumps(result, indent=2))
+        print(f"wrote {args.json}")
+    sys.exit(status)

@@ -16,7 +16,10 @@ Subcommands
     Load checkpoints into a :class:`repro.serve.ModelRegistry` and run
     the batching/caching prediction server against a request load
     (Sobol-sampled by default, or ω vectors from a file), printing
-    QPS, latency percentiles and cache statistics.
+    QPS, latency percentiles and cache statistics.  ``--shards N
+    --replicas R`` runs the consistent-hash-routed
+    :class:`repro.serve.ShardedFleet` instead: registry entries and
+    request load spread over N simulated hosts with failover.
 ``scaling``
     Print a strong-scaling table from the performance model (Figs 9/10).
 ``info``
@@ -38,6 +41,23 @@ def _parse_omega(text: str, m: int = 4) -> np.ndarray:
     if len(parts) != m:
         raise argparse.ArgumentTypeError(f"omega needs {m} values, got {len(parts)}")
     return np.asarray(parts)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_aging(text: str) -> float | None:
+    """``--priority-aging``: positive rate, or 0 as a spelling of
+    'strict priority' (the default)."""
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"priority aging must be >= 0, got {value}")
+    return value or None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +153,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "queued past it fail with DeadlineExceeded")
     p.add_argument("--autotune", action="store_true",
                    help="measured conv autotuning (persisted per host)")
+    p.add_argument("--priority-aging", type=_parse_aging, default=None,
+                   metavar="SECONDS",
+                   help="age-escalation rate: a queued request overtakes "
+                        "one priority level per this many seconds waited "
+                        "(bounds bulk-lane starvation; default: strict)")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="shard the registry and request load over this "
+                        "many simulated hosts (consistent-hash routed; "
+                        "1: single server)")
+    p.add_argument("--replicas", type=_positive_int, default=2,
+                   help="replica count per routing key with --shards>1 "
+                        "(writes fan out; reads fail over)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --shards>1: eject a shard that does not "
+                        "answer within this budget and fail over")
 
     p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
     p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
@@ -253,18 +289,63 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _serve_request_loads(args, names, get_entry) -> dict[str, np.ndarray]:
+    """Per-model request ω sets: the --omega-file rows, or Sobol samples
+    sized to each model's parameter space.  Shared by the single-server
+    and fleet paths so the two CLI modes replay identical workloads."""
+    from .data.sobol import sample_omega
+
+    file_omegas = (np.atleast_2d(np.loadtxt(args.omega_file, delimiter=","))
+                   if args.omega_file else None)
+    loads: dict[str, np.ndarray] = {}
+    for name in names:
+        if file_omegas is not None:
+            loads[name] = file_omegas
+        else:
+            entry = get_entry(name)
+            loads[name] = sample_omega(args.requests, entry.problem.field.m,
+                                       omega_range=entry.problem.omega_range)
+    return loads
+
+
+def _submit_with_backoff(backend, name, omega, resolution):
+    """With --max-pending the queue sheds load; this client applies the
+    intended response — back off briefly and retry."""
+    import time
+
+    from .serve import ServerOverloaded
+
+    while True:
+        try:
+            return backend.submit(name, omega, resolution)
+        except ServerOverloaded:
+            time.sleep(0.002)
+
+
 def _cmd_serve(args) -> int:
     import time
 
     from .backend import set_conv_plan_mode
-    from .data.sobol import sample_omega
     from .serve import (
         DeadlineExceeded, ModelRegistry, PredictionServer, RegistryError,
-        ServerConfig, ServerOverloaded,
+        ServerConfig,
     )
 
     if args.autotune:
         set_conv_plan_mode("autotune")
+    config = ServerConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        workers=args.workers, cache_bytes=args.cache_mb * 1024 * 1024,
+        backend=args.backend, tile=args.tile,
+        tile_threshold_voxels=args.tile_threshold,
+        executor=args.executor, cache_dir=args.cache_dir,
+        spill_max_bytes=(args.spill_mb * 1024 * 1024
+                         if args.spill_mb is not None else None),
+        max_pending=args.max_pending,
+        default_deadline_s=args.default_deadline,
+        priority_aging_s=args.priority_aging)
+    if args.shards > 1:
+        return _serve_fleet(args, config)
     registry = ModelRegistry()
     try:
         for spec in args.checkpoint:
@@ -275,43 +356,16 @@ def _cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    config = ServerConfig(
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        workers=args.workers, cache_bytes=args.cache_mb * 1024 * 1024,
-        backend=args.backend, tile=args.tile,
-        tile_threshold_voxels=args.tile_threshold,
-        executor=args.executor, cache_dir=args.cache_dir,
-        spill_max_bytes=(args.spill_mb * 1024 * 1024
-                         if args.spill_mb is not None else None),
-        max_pending=args.max_pending,
-        default_deadline_s=args.default_deadline)
     server = PredictionServer(registry, config)
-
-    def submit(name, w):
-        # With --max-pending the queue sheds load; this client applies
-        # the intended response — back off briefly and retry.
-        while True:
-            try:
-                return server.submit(name, w, args.resolution)
-            except ServerOverloaded:
-                time.sleep(0.002)
-
     names = registry.names()
-    loads: dict[str, np.ndarray] = {}
-    for name in names:
-        entry = registry.get(name)
-        if args.omega_file:
-            omegas = np.atleast_2d(np.loadtxt(args.omega_file, delimiter=","))
-        else:
-            omegas = sample_omega(args.requests, entry.problem.field.m,
-                                  omega_range=entry.problem.omega_range)
-        loads[name] = omegas
+    loads = _serve_request_loads(args, names, registry.get)
 
     t0 = time.perf_counter()
     try:
         with server:
             for _ in range(max(1, args.repeat)):
-                futures = [(name, submit(name, w))
+                futures = [(name, _submit_with_backoff(
+                                server, name, w, args.resolution))
                            for name in names for w in loads[name]]
                 for _, f in futures:
                     try:
@@ -342,6 +396,87 @@ def _cmd_serve(args) -> int:
           f"{c.evictions} evictions, {c.spill_hits} spill hits, "
           f"{c.spill_writes} spill writes, {c.spill_evictions} spill "
           f"evictions")
+    return 0
+
+
+def _serve_fleet(args, config) -> int:
+    """``repro serve --shards N --replicas R``: the sharded fleet path."""
+    import time
+
+    from .serve import (
+        DeadlineExceeded, FleetUnavailable, RegistryError, ServerOverloaded,
+    )
+    from .serve.fleet import FleetConfig, ShardedFleet
+
+    fleet = ShardedFleet(FleetConfig(
+        shards=args.shards, replicas=args.replicas,
+        shard_timeout_s=args.shard_timeout, server=config))
+    try:
+        for spec in args.checkpoint:
+            name, _, path = spec.rpartition("=")
+            entry = fleet.load(name or "model", path or spec)
+            print(f"loaded {entry} -> replicas "
+                  f"{fleet.replicas_for(name or 'model')}")
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    names = fleet.names()
+    loads = _serve_request_loads(args, names, fleet.get)
+
+    def submit(name, w):
+        try:
+            return _submit_with_backoff(fleet, name, w, args.resolution)
+        except FleetUnavailable:
+            # Every replica for this key is down *right now*; already
+            # counted in stats.unavailable — shed and report below.
+            return None
+
+    t0 = time.perf_counter()
+    try:
+        with fleet:
+            for _ in range(max(1, args.repeat)):
+                futures = [(name, submit(name, w))
+                           for name in names for w in loads[name]]
+                for _, f in futures:
+                    if f is None:
+                        continue
+                    try:
+                        # await_result (not f.result): --shard-timeout
+                        # ejects hung shards on this path too.
+                        fleet.await_result(f)
+                    except (DeadlineExceeded, FleetUnavailable,
+                            ServerOverloaded):
+                        # ServerOverloaded can arrive through the future
+                        # when a failover re-dispatch lands on a full
+                        # replica queue; all three are reported below
+                        # via the fleet stats.
+                        pass
+            wall = time.perf_counter() - t0
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        fleet.close()
+
+    s = fleet.stats
+    print(f"served {s.served} of {s.submitted} requests in {wall:.3f}s "
+          f"({s.served / wall:.1f} QPS) across {s.shards} shards "
+          f"(replicas={min(args.replicas, args.shards)}, "
+          f"{s.healthy_shards} healthy)")
+    print(f"latency p50 {s.p50 * 1e3:.2f} ms, p99 {s.p99 * 1e3:.2f} ms; "
+          f"{s.batches} batches, {s.cache_hits} cache hits, "
+          f"{s.dedup_hits} dedup hits, {s.tiled_forwards} tiled forwards")
+    print(f"scheduling: {s.rejected} rejections, {s.expired} expired; "
+          f"faults: {s.shard_faults} ejections, {s.failovers} failovers, "
+          f"{s.readmissions} readmissions; lost: {s.lost}")
+    print(f"interconnect (simulated): {s.send_calls} hops, "
+          f"{s.send_bytes >> 20} MiB, "
+          f"{s.virtual_comm_seconds * 1e3:.2f} ms virtual")
+    for sid, row in s.per_shard.items():
+        state = "up" if row["healthy"] else "DOWN"
+        print(f"  {sid} [{state}] requests={row['requests']} "
+              f"cache_hits={row['cache_hits']} models={row['models']}")
     return 0
 
 

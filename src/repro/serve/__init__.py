@@ -12,6 +12,9 @@ FEM solve.  This package is the infrastructure realizing that claim:
   worker-thread front-ends;
 * :class:`AsyncPredictionServer` — ``asyncio`` facade wrapping submitted
   futures into awaitables under the same scheduling policy;
+* :class:`ShardedFleet` — consistent-hash routing of registry entries
+  and request load over N server shards (simulated hosts) with R-way
+  replication, fault ejection + failover, and probed re-admission;
 * :func:`tiled_predict` — exact full-field inference on grids too large
   for one forward pass, via ``2**depth``-aligned halo-padded tiles.
 
@@ -31,12 +34,16 @@ Quickstart::
 from .aio import AsyncPredictionServer
 from .batching import MicroBatcher, PredictRequest, RequestQueue
 from .cache import CacheStats, LRUCache, quantize_omega, result_key
-from .errors import DeadlineExceeded, ServeError, ServerOverloaded
+from .errors import (
+    DeadlineExceeded, FleetUnavailable, ServeError, ServerOverloaded,
+)
 from .executor import (
     EXECUTOR_KINDS, Executor, ProcessExecutor, SerialExecutor,
     ThreadExecutor, default_workers, make_executor,
 )
-from .registry import ModelEntry, ModelRegistry, RegistryError
+from .fleet import FleetConfig, FleetStats, Shard, ShardedFleet
+from .hashring import HashRing
+from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
 from .server import PredictionServer, ServerConfig, ServerStats
 from .tiling import (
     TilePlan, plan_tiles, receptive_halo, tiled_forward, tiled_predict,
@@ -47,9 +54,11 @@ __all__ = [
     "MicroBatcher", "PredictRequest", "RequestQueue",
     "CacheStats", "LRUCache", "quantize_omega", "result_key",
     "ServeError", "DeadlineExceeded", "ServerOverloaded",
+    "FleetUnavailable",
     "EXECUTOR_KINDS", "Executor", "SerialExecutor", "ThreadExecutor",
     "ProcessExecutor", "default_workers", "make_executor",
-    "ModelEntry", "ModelRegistry", "RegistryError",
+    "FleetConfig", "FleetStats", "Shard", "ShardedFleet", "HashRing",
+    "ModelEntry", "ModelRegistry", "RegistryError", "state_version",
     "PredictionServer", "ServerConfig", "ServerStats",
     "TilePlan", "plan_tiles", "receptive_halo", "tiled_forward",
     "tiled_predict",

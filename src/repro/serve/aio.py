@@ -31,28 +31,46 @@ Quickstart::
 from __future__ import annotations
 
 import asyncio
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .server import PredictionServer
 
+if TYPE_CHECKING:  # avoid a runtime import cycle with .fleet
+    from .fleet import ShardedFleet
+
 __all__ = ["AsyncPredictionServer"]
 
 
 class AsyncPredictionServer:
-    """Awaitable facade over one :class:`PredictionServer`.
+    """Awaitable facade over one :class:`PredictionServer` — or one
+    :class:`~repro.serve.fleet.ShardedFleet`.
 
     Owns no threads and no queue of its own — every call delegates to
-    the wrapped server's ``submit`` and converts the returned
+    the wrapped back-end's ``submit`` and converts the returned
     ``concurrent.futures.Future`` into an ``asyncio`` future on the
-    running loop.  Lifecycle: ``async with`` starts the server's worker
-    fleet on entry and closes it (workers *and* compute executor) on
-    exit, off-loop so a process-pool teardown cannot stall the event
-    loop.  A server started by other means can be wrapped and used
-    directly; ``start``/``close`` are then the caller's business.
+    running loop.  Lifecycle: ``async with`` starts the back-end's
+    worker fleet on entry and closes it (workers *and* compute
+    executors) on exit, off-loop so a process-pool teardown cannot
+    stall the event loop.  A back-end started by other means can be
+    wrapped and used directly; ``start``/``close`` are then the
+    caller's business.
+
+    The fleet case is what makes the facade *shard-aware* without a
+    second scheduler: routing, replica failover and health accounting
+    all happen inside ``ShardedFleet.submit`` before the future is
+    wrapped, so async clients get consistent-hash sharding for free —
+    a faulted shard resolves the awaitable with the replica's answer,
+    and only ``FleetUnavailable`` (every replica down) surfaces.  Hang
+    faults are covered too: when the fleet has a ``shard_timeout_s``,
+    the awaitable re-waits in budget-sized slices and calls the fleet's
+    non-blocking ``hang_failover`` between them, so a shard that
+    neither answers nor errors is ejected from the event loop exactly
+    as it would be on the blocking path.
     """
 
-    def __init__(self, server: PredictionServer) -> None:
+    def __init__(self, server: "PredictionServer | ShardedFleet") -> None:
         self.server = server
 
     # ------------------------------------------------------------------ #
@@ -87,7 +105,51 @@ class AsyncPredictionServer:
         """
         future = self.server.submit(model_name, omega, resolution,
                                     priority=priority, deadline_s=deadline_s)
-        return asyncio.wrap_future(future)
+        wrapped = asyncio.wrap_future(future)
+        hang_failover = getattr(self.server, "hang_failover", None)
+        budget = getattr(getattr(self.server, "config", None),
+                         "shard_timeout_s", None)
+        if hang_failover is None or budget is None:
+            return wrapped
+        return asyncio.ensure_future(
+            self._guard_hangs(future, wrapped, hang_failover, budget))
+
+    @staticmethod
+    async def _guard_hangs(future, wrapped: "asyncio.Future",
+                           hang_failover, budget: float):
+        """Await a fleet future in ``shard_timeout_s`` slices, giving
+        the fleet a chance to eject a hung shard between waits.
+
+        ``hang_failover`` is non-blocking (eject + re-dispatch), so the
+        event loop never stalls; the shield keeps a sliced wait from
+        cancelling the underlying server future.  Terminates because a
+        failover either answers or eventually exhausts the replica set,
+        which resolves the future with ``FleetUnavailable``.
+
+        A *client* cancellation (the caller's ``wait_for`` lapsing, a
+        ``gather`` sibling failing) must still shed the request: the
+        shield protects only the sliced waits, so on cancellation the
+        underlying future is cancelled explicitly — same semantics as
+        the unguarded ``wrap_future`` path.
+        """
+        while True:
+            try:
+                return await asyncio.wait_for(asyncio.shield(wrapped),
+                                              budget)
+            # asyncio.TimeoutError only merged into the builtin in 3.11.
+            except (TimeoutError, asyncio.TimeoutError):
+                if wrapped.done():
+                    # A *stored* timeout (DeadlineExceeded) or an answer
+                    # that landed in the race window — surface it as-is.
+                    return await wrapped
+                hang_failover(future)
+            except asyncio.CancelledError:
+                # Late resolutions must not log "exception was never
+                # retrieved" after the client walked away.
+                wrapped.add_done_callback(
+                    lambda f: f.cancelled() or f.exception())
+                wrapped.cancel()
+                raise
 
     async def predict(self, model_name: str, omega: np.ndarray,
                       resolution: int | None = None, *,

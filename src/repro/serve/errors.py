@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from .cache import key_digest
 
-__all__ = ["ServeError", "DeadlineExceeded", "ServerOverloaded"]
+__all__ = ["ServeError", "DeadlineExceeded", "ServerOverloaded",
+           "FleetUnavailable"]
 
 
 def _key_digest(key: tuple | None) -> str:
@@ -70,3 +71,22 @@ class ServerOverloaded(ServeError):
             f"request {self.key_digest} for model {model_name!r} rejected: "
             f"{pending} requests already pending >= max_pending="
             f"{max_pending}")
+
+
+class FleetUnavailable(ServeError):
+    """Every replica shard for a request's routing key is down.
+
+    Raised by :class:`~repro.serve.fleet.ShardedFleet` when routing
+    exhausts the key's replica set — each shard either unhealthy at
+    dispatch time or faulted while serving the request.  Retryable after
+    shards recover (``check_health`` re-admits probed shards); the
+    attempted replica order is carried for log correlation.
+    """
+
+    def __init__(self, model_name: str, attempted: list[str]) -> None:
+        self.model_name = model_name
+        self.attempted = list(attempted)
+        super().__init__(
+            f"request for model {model_name!r} failed on every replica "
+            f"shard (attempted {self.attempted}); fleet unavailable for "
+            f"this key until a shard is re-admitted")

@@ -1,0 +1,726 @@
+"""Sharded serving fleet: consistent-hash routing over simulated hosts.
+
+One :class:`~repro.serve.server.PredictionServer` scales to the cores of
+one host; the paper's claim is a *fleet*.  This module spreads the model
+registry and the request load across N server shards — each with its own
+worker pool, compute executor, result cache and spill directory — the
+way DNN-MG/GMT partition multigrid work across compute units:
+
+* **Routing** — a consistent-hash ring (:class:`~repro.serve.hashring.
+  HashRing`) over ``(model name, content version)`` assigns every model
+  an R-way replica set.  Reads go to the primary and fail over along
+  the replica order; writes (``register_model``/``load``/``unregister``/
+  ``prune_spill``) fan out to every replica.
+* **Failover** — a shard that raises, hangs past ``shard_timeout_s`` or
+  is killed is *ejected* (marked unhealthy) and its in-flight request is
+  re-dispatched to the next replica; the caller sees the replica's
+  answer, not the fault.  Requests are conserved: every submit ends as
+  exactly one of served / rejected / expired / errors / cancelled /
+  unavailable (``FleetStats.lost == 0`` is the invariant the
+  fault-injection suite enforces).
+* **Recovery** — ``check_health()`` probes ejected shards with a real
+  tiny prediction and re-admits the ones that answer, after an optional
+  ``probe_after_s`` cool-down.  Routing also self-heals: when a key's
+  whole replica set is ejected, dispatch makes one last pass ignoring
+  health marks (non-blocking — safe from worker callbacks and event
+  loops), and a shard that serves the answer is re-admitted on the
+  spot, so a burst of false hang ejections cannot black-hole a key.
+* **Cost model** — every routing hop (ω out, full field back) is charged
+  to a :class:`~repro.distributed.comm.SimulatedCommunicator`, so the
+  fig10-style scaling story extends to serving:
+  ``benchmarks/bench_fleet_scaling.py`` reports measured QPS next to the
+  virtual interconnect seconds of the simulated fleet.
+
+Error discipline at the routing layer: *request* errors (bad ω arity,
+``DeadlineExceeded``, ``ServerOverloaded``, ``RegistryError``) belong to
+the caller and propagate without ejecting anyone; every other exception
+is a *shard fault* and triggers ejection + failover.
+
+Quickstart::
+
+    fleet = ShardedFleet(FleetConfig(shards=4, replicas=2))
+    fleet.register_model("m", model, problem)
+    with fleet:
+        u = fleet.predict("m", omega)          # routed + failover
+    fleet.stats.lost                           # 0 — conservation law
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..distributed.comm import SimulatedCommunicator
+from .errors import (
+    DeadlineExceeded, FleetUnavailable, ServeError, ServerOverloaded,
+)
+from .hashring import HashRing
+from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
+from .server import PredictionServer, ServerConfig
+
+__all__ = ["FleetConfig", "FleetStats", "Shard", "ShardedFleet"]
+
+_LAT_WINDOW = 10_000
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables of one :class:`ShardedFleet`."""
+
+    shards: int = 2                   # simulated hosts
+    replicas: int = 2                 # R-way replication (capped at shards)
+    vnodes: int = 64                  # ring points per shard
+    # Hang budget, measured from dispatch to answer — the shard's queue
+    # wait counts, so set it above the worst-case backlog + compute time
+    # or a merely busy shard will be ejected as hung.  False ejections
+    # self-heal: when a key's whole replica set is down, routing makes
+    # one last pass ignoring health marks, and a shard that answers is
+    # re-admitted on the spot.  None disables hang detection.
+    shard_timeout_s: float | None = None
+    probe_after_s: float = 0.0        # cool-down before a probe retries
+    server: ServerConfig = field(default_factory=ServerConfig)
+    # (message_bytes, world_size) -> seconds; None counts bytes only.
+    time_model: Callable[[int, int], float] | None = None
+
+
+class Shard:
+    """One simulated host: a server plus its health record."""
+
+    def __init__(self, shard_id: str, server: PredictionServer) -> None:
+        self.id = shard_id
+        self.server = server
+        self.healthy = True
+        self.ejected_at: float | None = None  # monotonic eject stamp
+        self.fault_count = 0
+        self.last_error: BaseException | None = None
+
+    def __repr__(self) -> str:
+        state = "healthy" if self.healthy else "ejected"
+        return f"Shard({self.id!r}, {state}, faults={self.fault_count})"
+
+
+@dataclass
+class FleetStats:
+    """Merged fleet counters + summed per-shard serving statistics."""
+
+    shards: int = 0
+    healthy_shards: int = 0
+    # Fleet-level request accounting (the conservation law's terms).
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0          # backpressure (ServerOverloaded)
+    expired: int = 0           # deadlines (DeadlineExceeded)
+    errors: int = 0            # request-level errors (bad ω, registry)
+    cancelled: int = 0         # caller cancelled the fleet future
+    unavailable: int = 0       # every replica down (FleetUnavailable)
+    # Fault machinery.
+    failovers: int = 0         # re-dispatches after a shard fault
+    shard_faults: int = 0      # ejections (errors + hangs + kills)
+    hangs: int = 0             # ejections specifically for timeouts
+    probes: int = 0
+    readmissions: int = 0
+    # Summed per-shard ServerStats counters.
+    requests: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    tiled_forwards: int = 0
+    # Simulated interconnect (routing hops through the comm layer).
+    send_calls: int = 0
+    send_bytes: int = 0
+    virtual_comm_seconds: float = 0.0
+    latencies: list = field(default_factory=list)
+    per_shard: dict = field(default_factory=dict)
+
+    @property
+    def lost(self) -> int:
+        """Requests unaccounted for — zero is the conservation law."""
+        return self.submitted - (self.served + self.rejected + self.expired
+                                 + self.errors + self.cancelled
+                                 + self.unavailable)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class _RouteState:
+    """Mutable routing record of one fleet request (guarded by the
+    fleet lock where it races with dispatch/failover)."""
+
+    __slots__ = ("model_name", "omega", "resolution", "priority",
+                 "deadline_s", "replicas", "next_idx", "current",
+                 "submitted_at", "attempt_started", "delivered",
+                 "health_retried", "ignore_health")
+
+    def __init__(self, model_name: str, omega: np.ndarray,
+                 resolution: int | None, priority: int | None,
+                 deadline_s: float | None, replicas: list[Shard]) -> None:
+        self.model_name = model_name
+        self.omega = omega
+        self.resolution = resolution
+        self.priority = priority
+        self.deadline_s = deadline_s
+        self.replicas = replicas
+        self.next_idx = 0
+        self.current: Shard | None = None
+        self.submitted_at = time.monotonic()   # latency anchor (fixed)
+        self.attempt_started = self.submitted_at  # hang detection (reset
+        self.delivered = False                    # on every re-dispatch)
+        self.health_retried = False   # one last-resort pass used
+        self.ignore_health = False    # last-resort pass: try ejected too
+
+
+class _FleetFuture(Future):
+    """A Future that remembers its routing state (hang failover needs
+    to know which shard currently owns the attempt)."""
+
+    def __init__(self, state: _RouteState) -> None:
+        super().__init__()
+        self.state = state
+
+
+class ShardedFleet:
+    """Consistent-hash-routed front-end over N server shards.
+
+    API-compatible with :class:`PredictionServer` where it matters —
+    ``submit`` / ``predict`` / ``predict_many`` / ``start`` / ``stop`` /
+    ``close`` / context manager — so the asyncio facade
+    (:class:`~repro.serve.aio.AsyncPredictionServer`) and the CLI client
+    loop work unchanged on a fleet.
+    """
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+        if self.config.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.config.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self._r = min(self.config.replicas, self.config.shards)
+        self.shards: list[Shard] = []
+        self._by_id: dict[str, Shard] = {}
+        for i in range(self.config.shards):
+            shard_id = f"shard-{i:02d}"
+            cfg = self.config.server
+            if cfg.cache_dir is not None:
+                # Each simulated host owns its spill directory: budgets
+                # and LRU accounting are per-instance (ROADMAP "shared
+                # spill ledger" is the cross-host follow-up).
+                cfg = replace(cfg, cache_dir=str(Path(cfg.cache_dir)
+                                                 / shard_id))
+            shard = Shard(shard_id, PredictionServer(ModelRegistry(), cfg))
+            self.shards.append(shard)
+            self._by_id[shard_id] = shard
+        self._ring = HashRing([s.id for s in self.shards],
+                              vnodes=self.config.vnodes)
+        self._comm = SimulatedCommunicator(
+            self.config.shards, time_model=self.config.time_model)
+        self._lock = threading.RLock()
+        self._catalog: dict[str, str] = {}      # model name -> version
+        self._latencies: list[float] = []
+        self._probe_seq = 0
+        self._c = {k: 0 for k in (
+            "submitted", "served", "rejected", "expired", "errors",
+            "cancelled", "unavailable", "failovers", "shard_faults",
+            "hangs", "probes", "readmissions")}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ShardedFleet":
+        """Start every shard's worker fleet (idempotent).
+
+        All compute executors are warmed *before* any worker thread
+        exists anywhere: a fork-based pool on shard k must not fork a
+        process already running shard j's compute threads.
+        """
+        for shard in self.shards:
+            shard.server.executor.warm()
+        for shard in self.shards:
+            shard.server.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        for shard in self.shards:
+            shard.server.stop(drain=drain)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.server.close()
+
+    def __enter__(self) -> "ShardedFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        return any(shard.server.running for shard in self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Registry writes: fan out to every replica of the routing key
+    # ------------------------------------------------------------------ #
+    def register_model(self, name: str, model, problem, path=None,
+                       meta: dict | None = None) -> ModelEntry:
+        """Register an in-memory model on its R replica shards."""
+        version = state_version(model)
+        replica_ids = self._ring.lookup((name, version), n=self._r)
+        entry: ModelEntry | None = None
+        for sid in replica_ids:
+            # Pass the routing hash through: hashing the state dict once
+            # here and once per replica would cost R+1 full-model hashes
+            # per registration for an identical-by-construction result.
+            entry = self._by_id[sid].server.registry.register_model(
+                name, model, problem, path=path, meta=meta, version=version)
+        with self._lock:
+            old = self._catalog.get(name)
+            self._catalog[name] = version
+        if old is not None and old != version:
+            # A retrained model routes to a (possibly) different replica
+            # set; shards that only served the old version must stop.
+            stale = (set(self._ring.lookup((name, old), n=self._r))
+                     - set(replica_ids))
+            for sid in stale:
+                self._by_id[sid].server.registry.unregister(name)
+        return entry
+
+    def load(self, name: str, path, validate: bool = True) -> ModelEntry:
+        """Load a checkpoint once, then fan the entry out to its
+        replicas (validation runs once, not per shard)."""
+        scratch = ModelRegistry()
+        entry = scratch.load(name, path, validate=validate)
+        return self.register_model(name, entry.model, entry.problem,
+                                   path=entry.path, meta=entry.meta)
+
+    def unregister(self, name: str) -> None:
+        for shard in self.shards:
+            shard.server.registry.unregister(name)
+        with self._lock:
+            self._catalog.pop(name, None)
+
+    def prune_spill(self) -> int:
+        """Fan spill pruning out to every shard; total files removed."""
+        removed = 0
+        for shard in self.shards:
+            live = {e.version for e in shard.server.registry.entries()}
+            removed += shard.server.cache.prune_spill(live)
+        return removed
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._catalog))
+
+    def get(self, name: str) -> ModelEntry:
+        """The primary replica's entry (metadata reads never eject)."""
+        _, replicas = self._route(name)
+        return replicas[0].server.registry.get(name)
+
+    def replicas_for(self, name: str) -> list[str]:
+        """Shard ids serving ``name``, primary first."""
+        _, replicas = self._route(name)
+        return [shard.id for shard in replicas]
+
+    def _route(self, name: str) -> tuple[str, list[Shard]]:
+        with self._lock:
+            version = self._catalog.get(name)
+            known = sorted(self._catalog)
+        if version is None:
+            raise RegistryError(
+                f"no model named {name!r} registered in the fleet; "
+                f"available: {known}")
+        ids = self._ring.lookup((name, version), n=self._r)
+        return version, [self._by_id[i] for i in ids]
+
+    # ------------------------------------------------------------------ #
+    # Routed front-ends
+    # ------------------------------------------------------------------ #
+    def submit(self, model_name: str, omega: np.ndarray,
+               resolution: int | None = None, *,
+               priority: int | None = None,
+               deadline_s: float | None = None) -> Future:
+        """Route one prediction to its replica set; returns a Future.
+
+        The primary healthy replica gets the request; a shard fault
+        (anything but a request-level error) ejects that shard and
+        re-dispatches to the next replica transparently.  Like
+        ``PredictionServer.submit``, backpressure (``ServerOverloaded``)
+        and an exhausted replica set (``FleetUnavailable``) raise
+        synchronously on the initial dispatch — during an asynchronous
+        failover they arrive through the future instead.
+        """
+        omega = np.asarray(omega, dtype=np.float64).reshape(-1)
+        _, replicas = self._route(model_name)
+        state = _RouteState(model_name, omega, resolution, priority,
+                            deadline_s, replicas)
+        out = _FleetFuture(state)
+        with self._lock:
+            self._c["submitted"] += 1
+        self._dispatch(out, state, sync=True)
+        return out
+
+    def predict(self, model_name: str, omega: np.ndarray,
+                resolution: int | None = None,
+                timeout: float | None = None, *,
+                priority: int | None = None,
+                deadline_s: float | None = None) -> np.ndarray:
+        """Blocking routed prediction with hang failover.
+
+        With ``config.shard_timeout_s`` set, a shard that neither
+        answers nor errors within the budget is treated as hung: it is
+        ejected and the request re-dispatched to the next replica —
+        the blocking counterpart of the error-failover ``submit`` does
+        asynchronously.  ``timeout`` bounds the overall wait.
+        """
+        return self.await_result(
+            self.submit(model_name, omega, resolution,
+                        priority=priority, deadline_s=deadline_s),
+            timeout)
+
+    def await_result(self, future: Future, timeout: float | None = None):
+        """``future.result`` with hang failover for fleet futures.
+
+        Blocking callers that hold raw ``submit`` futures (the CLI
+        client loop, ``predict_many``) drain through here so
+        ``config.shard_timeout_s`` ejects hung shards on their path
+        too, not only in ``predict``.  Non-fleet futures just wait.
+        """
+        shard_budget = self.config.shard_timeout_s
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            wait = shard_budget
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return future.result(0)
+                wait = remaining if wait is None else min(wait, remaining)
+            try:
+                return future.result(wait)
+            except DeadlineExceeded:
+                raise                      # request-level, not a hang
+            except FutureTimeout:
+                if future.done():
+                    # The answer landed in the race window between the
+                    # wait lapsing and here; the next result() call
+                    # returns the stored outcome immediately.
+                    continue
+                if not self.hang_failover(future):
+                    if (deadline is not None
+                            and time.monotonic() >= deadline):
+                        raise
+
+    def hang_failover(self, future: Future) -> bool:
+        """Eject the shard a fleet future has been waiting on past
+        ``shard_timeout_s`` and re-dispatch to the next replica.
+
+        The non-blocking hang-recovery primitive shared by every
+        front-end: ``await_result`` calls it after a wait times out, and
+        the asyncio facade calls it from the event loop.  Returns
+        ``True`` when a failover was performed, ``False`` when there is
+        nothing to do (no fleet state, budget not yet elapsed on the
+        current attempt, or the answer already landed).
+        """
+        state = getattr(future, "state", None)
+        budget = self.config.shard_timeout_s
+        if state is None or budget is None or future.done():
+            return False
+        with self._lock:
+            elapsed = time.monotonic() - state.attempt_started
+            hung = state.current
+            if (hung is None or state.delivered
+                    or elapsed < budget * 0.999):
+                return False
+            state.current = None   # claim: exactly one caller fails over
+        self._eject(hung, TimeoutError(
+            f"shard {hung.id} did not answer within "
+            f"shard_timeout_s={budget}"), hang=True)
+        with self._lock:
+            if state.delivered:
+                return False
+            self._c["failovers"] += 1
+        self._dispatch(future, state)
+        return True
+
+    def predict_many(self, model_name: str, omegas: np.ndarray,
+                     resolution: int | None = None,
+                     timeout: float | None = None, *,
+                     priority: int | None = None,
+                     deadline_s: float | None = None) -> np.ndarray:
+        omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
+        futures = [self.submit(model_name, w, resolution, priority=priority,
+                               deadline_s=deadline_s) for w in omegas]
+        return np.stack([self.await_result(f, timeout) for f in futures])
+
+    # ------------------------------------------------------------------ #
+    # Dispatch, failover, delivery
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, out: Future, state: _RouteState,
+                  sync: bool = False) -> None:
+        """Hand the request to the next healthy replica (loops past
+        shards that fault synchronously)."""
+        while True:
+            shard = None
+            with self._lock:
+                while state.next_idx < len(state.replicas):
+                    candidate = state.replicas[state.next_idx]
+                    state.next_idx += 1
+                    if candidate.healthy or state.ignore_health:
+                        shard = candidate
+                        break
+                state.current = shard
+                state.attempt_started = time.monotonic()
+            if shard is None:
+                if not state.health_retried:
+                    # Last resort before declaring the key unavailable:
+                    # one pass over the replica set *ignoring* health
+                    # marks.  Some ejections are false positives (the
+                    # hang budget includes queue wait), and unlike a
+                    # blocking probe this retry is safe from any thread
+                    # — a worker callback or the event loop.  A shard
+                    # that answers is re-admitted on delivery; a truly
+                    # dead one faults straight through to the
+                    # unavailable verdict below.
+                    state.health_retried = True
+                    state.ignore_health = True
+                    state.next_idx = 0
+                    continue
+                exc = FleetUnavailable(
+                    state.model_name, [s.id for s in state.replicas])
+                self._deliver(out, state, exc=exc, counter="unavailable")
+                if sync:
+                    raise exc from None
+                return
+            self._comm.send(state.omega.nbytes)   # routing hop: ω out
+            try:
+                inner = shard.server.submit(
+                    state.model_name, state.omega, state.resolution,
+                    priority=state.priority, deadline_s=state.deadline_s)
+            except ServerOverloaded as exc:
+                # Backpressure is scheduling policy, not a shard fault:
+                # the caller sheds or retries; nobody gets ejected.
+                self._deliver(out, state, exc=exc, counter="rejected")
+                if sync:
+                    raise
+                return
+            except (ValueError, RegistryError, ServeError) as exc:
+                self._deliver(out, state, exc=exc, counter="errors")
+                if sync:
+                    raise
+                return
+            except Exception as exc:
+                self._eject(shard, exc)
+                with self._lock:
+                    self._c["failovers"] += 1
+                continue
+            inner.add_done_callback(
+                lambda f, shard=shard: self._on_done(out, state, shard, f))
+            return
+
+    def _on_done(self, out: Future, state: _RouteState, shard: Shard,
+                 inner: Future) -> None:
+        """Classify a shard answer: deliver, or eject + fail over."""
+        try:
+            exc = inner.exception()
+        except CancelledError as cancel:
+            exc = cancel
+        if exc is None:
+            value = inner.result()
+            if self._deliver(out, state, result=value, counter="served"):
+                self._comm.send(value.nbytes)     # response hop: field back
+                # An answer is the strongest health probe there is: a
+                # shard serving from the ignore-health last-resort pass
+                # (ejected on a false hang) re-admits itself.
+                self._readmit(shard)
+            return
+        if isinstance(exc, ServerOverloaded):
+            self._deliver(out, state, exc=exc, counter="rejected")
+            return
+        if isinstance(exc, DeadlineExceeded):
+            self._deliver(out, state, exc=exc, counter="expired")
+            return
+        if isinstance(exc, (ServeError, ValueError, RegistryError)):
+            self._deliver(out, state, exc=exc, counter="errors")
+            return
+        # Anything else is the shard's fault, not the request's.
+        self._eject(shard, exc)
+        with self._lock:
+            if state.delivered or state.current is not shard:
+                # A newer attempt owns this request (hang failover
+                # already moved on): record the fault, but a stale
+                # straggler must not burn the remaining replicas.
+                return
+            state.current = None          # claim the re-dispatch
+            self._c["failovers"] += 1
+        self._dispatch(out, state)
+
+    def _deliver(self, out: Future, state: _RouteState, *,
+                 result=None, exc: BaseException | None = None,
+                 counter: str = "served") -> bool:
+        """Resolve the fleet future exactly once and count the outcome.
+
+        Returns ``False`` when this call lost the delivery race (a hang
+        failover already answered) or the caller cancelled — stragglers
+        must neither overwrite the result nor double-count.
+        """
+        with self._lock:
+            if state.delivered:
+                return False
+            state.delivered = True
+        try:
+            live = out.set_running_or_notify_cancel()
+        except InvalidStateError:  # pragma: no cover - delivered guards this
+            return False
+        with self._lock:
+            self._c[counter if live else "cancelled"] += 1
+            if live and exc is None:
+                # Anchor on submit, not on the last dispatch attempt:
+                # a request that burned shard_timeout_s on a hung
+                # primary must report that wait, not just the replica's
+                # service time.
+                self._latencies.append(
+                    time.monotonic() - state.submitted_at)
+                if len(self._latencies) > _LAT_WINDOW:
+                    del self._latencies[:len(self._latencies) - _LAT_WINDOW]
+        if live:
+            if exc is not None:
+                out.set_exception(exc)
+            else:
+                out.set_result(result)
+        return live
+
+    # ------------------------------------------------------------------ #
+    # Health
+    # ------------------------------------------------------------------ #
+    def _readmit(self, shard: Shard) -> None:
+        """Mark a shard healthy again (probe success, or a served
+        answer from the last-resort ignore-health pass)."""
+        with self._lock:
+            if shard.healthy:
+                return
+            shard.healthy = True
+            shard.ejected_at = None
+            self._c["readmissions"] += 1
+
+    def _eject(self, shard: Shard, exc: BaseException,
+               hang: bool = False) -> None:
+        with self._lock:
+            shard.fault_count += 1
+            shard.last_error = exc
+            if not shard.healthy:
+                return
+            shard.healthy = False
+            shard.ejected_at = time.monotonic()
+            self._c["shard_faults"] += 1
+            if hang:
+                self._c["hangs"] += 1
+
+    @property
+    def healthy_shards(self) -> list[str]:
+        with self._lock:
+            return [s.id for s in self.shards if s.healthy]
+
+    def check_health(self) -> list[str]:
+        """Probe ejected shards past their cool-down; re-admit the ones
+        that answer a real (tiny) prediction.  Returns re-admitted ids."""
+        now = time.monotonic()
+        candidates = []
+        with self._lock:
+            for shard in self.shards:
+                if shard.healthy:
+                    continue
+                ejected = shard.ejected_at or 0.0
+                if now - ejected >= self.config.probe_after_s:
+                    candidates.append(shard)
+        readmitted = []
+        for shard in candidates:
+            with self._lock:
+                self._c["probes"] += 1
+            if self._probe(shard):
+                self._readmit(shard)
+                readmitted.append(shard.id)
+        return readmitted
+
+    def _probe(self, shard: Shard) -> bool:
+        """One real prediction through the shard's own front-end.
+
+        A unique probe ω defeats the result cache (a cached field would
+        mask a still-broken forward path); a shard serving no models is
+        trivially healthy.
+        """
+        entries = shard.server.registry.entries()
+        if not entries:
+            return True
+        entry = entries[0]
+        with self._lock:
+            self._probe_seq += 1
+            seq = self._probe_seq
+        omega = np.full(entry.problem.field.m, 1e-3 * seq)
+        # The probe must be able to succeed on a shard that was ejected
+        # for being *slow*, not broken: give it a budget well above the
+        # hang threshold and let it jump any backlog that caused the
+        # false ejection in the first place.
+        budget = max(30.0, 4 * (self.config.shard_timeout_s or 0.0))
+        try:
+            shard.server.predict(entry.name, omega, timeout=budget,
+                                 priority=2 ** 31)
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> FleetStats:
+        """Merged snapshot: fleet counters + summed per-shard stats."""
+        with self._lock:
+            merged = FleetStats(
+                shards=len(self.shards),
+                healthy_shards=sum(s.healthy for s in self.shards),
+                latencies=list(self._latencies),
+                **self._c)
+        log = self._comm.log
+        merged.send_calls = log.send_calls
+        merged.send_bytes = log.send_bytes
+        merged.virtual_comm_seconds = log.virtual_comm_seconds
+        for shard in self.shards:
+            s = shard.server.stats
+            merged.requests += s.requests
+            merged.cache_hits += s.cache_hits
+            merged.dedup_hits += s.dedup_hits
+            merged.batches += s.batches
+            merged.batched_requests += s.batched_requests
+            merged.tiled_forwards += s.tiled_forwards
+            merged.per_shard[shard.id] = {
+                "healthy": shard.healthy,
+                "faults": shard.fault_count,
+                "requests": s.requests,
+                "cache_hits": s.cache_hits,
+                "errors": s.errors,
+                "models": list(shard.server.registry.names()),
+            }
+        return merged
+
+    def __repr__(self) -> str:
+        healthy = len(self.healthy_shards)
+        return (f"ShardedFleet(shards={len(self.shards)}, "
+                f"healthy={healthy}, replicas={self._r}, "
+                f"models={list(self.names())})")

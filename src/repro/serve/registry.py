@@ -23,7 +23,7 @@ from ..core.checkpoint import CheckpointError, load_checkpoint
 from ..core.mgdiffnet import MGDiffNet
 from ..core.problem import PoissonProblem
 
-__all__ = ["RegistryError", "ModelEntry", "ModelRegistry"]
+__all__ = ["RegistryError", "ModelEntry", "ModelRegistry", "state_version"]
 
 _ARCH_KEYS = ("ndim", "base_filters", "depth", "resolution")
 
@@ -121,16 +121,23 @@ class ModelRegistry:
 
     def register_model(self, name: str, model: MGDiffNet,
                        problem: PoissonProblem, path: Path | None = None,
-                       meta: dict | None = None) -> ModelEntry:
-        """Register an in-memory model (tests, benchmarks, hot swaps)."""
-        entry = self._make_entry(name, model, problem, path, meta)
+                       meta: dict | None = None,
+                       version: str | None = None) -> ModelEntry:
+        """Register an in-memory model (tests, benchmarks, hot swaps).
+
+        ``version`` lets a caller that already hashed the state dict
+        (the fleet hashes once to route, then registers on R replicas)
+        skip recomputing it; ``None`` hashes here.
+        """
+        entry = self._make_entry(name, model, problem, path, meta, version)
         with self._lock:
             self._entries[name] = entry
         return entry
 
     @staticmethod
     def _make_entry(name: str, model: MGDiffNet, problem: PoissonProblem,
-                    path: Path | None, meta: dict | None) -> ModelEntry:
+                    path: Path | None, meta: dict | None,
+                    version: str | None = None) -> ModelEntry:
         # Serving entries are pinned to eval mode: concurrent server
         # workers share the model, and the inference helpers' transient
         # eval()/train(was_training) toggles are only race-free when
@@ -140,7 +147,8 @@ class ModelRegistry:
         model.eval()
         return ModelEntry(
             name=name, model=model, problem=problem,
-            version=state_version(model), path=path, meta=dict(meta or {}),
+            version=version or state_version(model), path=path,
+            meta=dict(meta or {}),
             dtype=np.dtype(get_default_dtype()).name,
             backend=get_backend().name)
 
@@ -174,6 +182,12 @@ class ModelRegistry:
     def names(self) -> tuple[str, ...]:
         with self._lock:
             return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[ModelEntry, ...]:
+        """Snapshot of all entries, name-sorted (fleet probes / pruning)."""
+        with self._lock:
+            return tuple(self._entries[name]
+                         for name in sorted(self._entries))
 
     def unregister(self, name: str) -> None:
         with self._lock:

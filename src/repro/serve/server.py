@@ -103,6 +103,9 @@ class ServerConfig:
     max_pending: int = 0              # >0: bound the queue (backpressure)
     default_priority: int = 0         # priority for submits that set none
     default_deadline_s: float | None = None  # latency budget default
+    priority_aging_s: float | None = None  # age-escalation rate (see
+    # RequestQueue: a request overtakes one priority level per aging_s
+    # seconds waited, bounding bulk-lane starvation; None = strict)
 
 
 @dataclass
@@ -156,8 +159,11 @@ class PredictionServer:
         self.stats = ServerStats()
         self._batcher = MicroBatcher(self.config.max_batch,
                                      self.config.max_wait_ms)
-        # Priority heap, bounded when max_pending asks for backpressure.
-        self._queue = RequestQueue(maxsize=max(0, self.config.max_pending))
+        # Priority heap, bounded when max_pending asks for backpressure;
+        # priority_aging_s switches it to age-escalating virtual-start-
+        # time order so the bulk lane cannot starve.
+        self._queue = RequestQueue(maxsize=max(0, self.config.max_pending),
+                                   aging_s=self.config.priority_aging_s)
         self._stop = threading.Event()
         self._workers: list[threading.Thread] = []
         self._stats_lock = threading.Lock()
@@ -165,7 +171,12 @@ class PredictionServer:
         self._inflight_lock = threading.Lock()
         self._executor: Executor | None = None
         self._executor_lock = threading.Lock()
+        # Version-keyed pickle caches for process executors; guarded by
+        # one lock because concurrent workers insert while hot swaps
+        # prune (an unlocked iterate-and-delete would be crashy).
+        self._blob_lock = threading.Lock()
         self._payload_blobs: dict[str, bytes] = {}  # entry version -> pickle
+        self._net_blobs: dict[str, bytes] = {}      # version -> pickled net
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -480,9 +491,14 @@ class PredictionServer:
                 self.stats.tiled_forwards += 1
             tile, halo = self._tile_params(entry, resolution)
             executor = self.executor
+            # Process path: replay the version-cached net blob so a
+            # long-running server serializes each model exactly once
+            # instead of re-pickling per tiled call.
+            net_ref = (self._net_ref(entry) if executor.kind == "process"
+                       else None)
             return tiled_predict(entry.model, entry.problem, omegas,
                                  resolution=resolution, tile=tile, halo=halo,
-                                 executor=executor)
+                                 executor=executor, net_ref=net_ref)
         executor = self.executor
         if executor.kind == "process":
             payload = (entry.version, self._entry_blob(entry),
@@ -494,11 +510,43 @@ class PredictionServer:
     def _entry_blob(self, entry: ModelEntry) -> bytes:
         """Pickled (model, problem) for process workers, cached per
         content version so repeated requests reuse one serialization."""
-        blob = self._payload_blobs.get(entry.version)
-        if blob is None:
-            blob = pickle.dumps((entry.model, entry.problem))
-            self._payload_blobs[entry.version] = blob
+        # Serialize under the lock: pickling happens once per content
+        # version by contract, and a check-then-act window would let
+        # concurrent workers each build a model-sized blob after a hot
+        # swap.  Holding the lock through a (rare) pickle is cheaper
+        # than N transient copies of a large model.
+        with self._blob_lock:
+            blob = self._payload_blobs.get(entry.version)
+            if blob is None:
+                blob = pickle.dumps((entry.model, entry.problem))
+                self._payload_blobs[entry.version] = blob
+                self._prune_blobs()
         return blob
+
+    def _net_ref(self, entry: ModelEntry) -> tuple[str, bytes]:
+        """``(version, pickled net)`` for tiled process forwards, cached
+        per content version — the same amortization ``_entry_blob``
+        gives fused forwards, applied to the tiled path."""
+        with self._blob_lock:
+            blob = self._net_blobs.get(entry.version)
+            if blob is None:
+                blob = pickle.dumps(entry.model.net)
+                self._net_blobs[entry.version] = blob
+                self._prune_blobs()
+        return entry.version, blob
+
+    def _prune_blobs(self) -> None:
+        """Drop cached blobs of versions the registry no longer serves
+        (``_blob_lock`` held by the caller).
+
+        Versions only ever change on a hot swap, so this runs once per
+        new version, not per request — without it a long-running server
+        would leak one model-sized blob per retrain forever.
+        """
+        live = {e.version for e in self.registry.entries()}
+        for cache in (self._payload_blobs, self._net_blobs):
+            for version in [v for v in cache if v not in live]:
+                del cache[version]
 
     def _tile_params(self, entry: ModelEntry,
                      resolution: int) -> tuple[int, int]:

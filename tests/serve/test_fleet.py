@@ -1,0 +1,322 @@
+"""Sharded fleet semantics: routing, registry fan-out, stats, facade.
+
+The fault-injection storms live in ``test_fleet_faults.py``; this file
+pins the deterministic contracts — where writes land, where reads
+route, that routed answers equal single-server answers, and that the
+asyncio facade is shard-aware without modification.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core.inference import predict_batch
+from repro.serve import (
+    AsyncPredictionServer, FleetConfig, ModelRegistry, PredictionServer,
+    RegistryError, ServerConfig, ShardedFleet, state_version,
+)
+
+RNG = np.random.default_rng(7)
+
+
+@pytest.fixture(scope="module")
+def served():
+    problem = PoissonProblem2D(16)
+    model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=1)
+    return model, problem
+
+
+def _fleet(shards=3, replicas=2, **server_kw) -> ShardedFleet:
+    kw = dict(max_batch=4, max_wait_ms=0.0, workers=1, cache_bytes=0)
+    kw.update(server_kw)
+    return ShardedFleet(FleetConfig(shards=shards, replicas=replicas,
+                                    server=ServerConfig(**kw)))
+
+
+class TestRegistryFanOut:
+    def test_register_lands_on_exactly_r_replicas(self, served):
+        model, problem = served
+        fleet = _fleet(shards=4, replicas=2)
+        fleet.register_model("m", model, problem)
+        holders = [s.id for s in fleet.shards
+                   if "m" in s.server.registry.names()]
+        assert sorted(holders) == sorted(fleet.replicas_for("m"))
+        assert len(holders) == 2
+
+    def test_replica_set_matches_ring_over_name_and_version(self, served):
+        model, problem = served
+        fleet = _fleet(shards=4, replicas=2)
+        fleet.register_model("m", model, problem)
+        expected = fleet._ring.lookup(("m", state_version(model)), n=2)
+        assert fleet.replicas_for("m") == expected
+
+    def test_routing_is_stable_across_fleets(self, served):
+        """Two fleets with the same topology agree on every route — the
+        consistent-hash determinism the multi-host story needs."""
+        model, problem = served
+        a, b = _fleet(shards=4), _fleet(shards=4)
+        for f in (a, b):
+            f.register_model("m", model, problem)
+        assert a.replicas_for("m") == b.replicas_for("m")
+
+    def test_unregister_fans_out_everywhere(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        fleet.unregister("m")
+        assert fleet.names() == ()
+        assert all("m" not in s.server.registry.names()
+                   for s in fleet.shards)
+        with pytest.raises(RegistryError):
+            fleet.get("m")
+
+    def test_unknown_model_raises_keyed_registry_error(self, served):
+        fleet = _fleet()
+        with pytest.raises(RegistryError, match="fleet"):
+            fleet.submit("ghost", np.zeros(4))
+
+    def test_models_spread_across_shards(self, served):
+        """Many models occupy many shards — the registry is sharded,
+        not mirrored."""
+        model, problem = served
+        fleet = _fleet(shards=4, replicas=1)
+        for i in range(12):
+            fleet.register_model(f"m{i}", model, problem)
+        owners = {s.id for s in fleet.shards if s.server.registry.names()}
+        assert len(owners) >= 3
+
+    def test_reregister_updates_catalog_version(self, served):
+        model, problem = served
+        fleet = _fleet(shards=4, replicas=2)
+        fleet.register_model("m", model, problem)
+        v1 = fleet._catalog["m"]
+        other = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=99)
+        fleet.register_model("m", other, problem)
+        v2 = fleet._catalog["m"]
+        assert v1 != v2
+        # Every shard still holding "m" holds the *new* version.
+        for shard in fleet.shards:
+            if "m" in shard.server.registry.names():
+                assert shard.server.registry.get("m").version == v2
+
+
+class TestRoutedServing:
+    def test_predict_matches_single_server(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        omegas = RNG.uniform(-3, 3, (6, 4))
+        with fleet:
+            got = np.stack([fleet.predict("m", w, timeout=30)
+                            for w in omegas])
+        ref = predict_batch(model, problem, omegas)
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+
+    def test_predict_many_gathers(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        omegas = RNG.uniform(-3, 3, (5, 4))
+        with fleet:
+            got = fleet.predict_many("m", omegas, timeout=30)
+        np.testing.assert_allclose(got, predict_batch(model, problem, omegas),
+                                   atol=1e-5)
+
+    def test_sync_frontend_without_start(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        omega = RNG.uniform(-3, 3, 4)
+        u = fleet.predict("m", omega)
+        np.testing.assert_allclose(u, predict_batch(model, problem, omega)[0],
+                                   atol=1e-5)
+
+    def test_load_spreads_over_shards(self, served):
+        """With R=1 and several models, requests land on several
+        shards — the request load is partitioned, not funneled."""
+        model, problem = served
+        fleet = _fleet(shards=4, replicas=1)
+        names = [f"m{i}" for i in range(8)]
+        for name in names:
+            fleet.register_model(name, model, problem)
+        omega = RNG.uniform(-3, 3, 4)
+        with fleet:
+            for name in names:
+                fleet.predict(name, omega, timeout=30)
+        busy = [s.id for s in fleet.shards if s.server.stats.requests > 0]
+        assert len(busy) >= 3
+
+    def test_stats_merge_and_conservation(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        omegas = RNG.uniform(-3, 3, (8, 4))
+        with fleet:
+            futures = [fleet.submit("m", w) for w in omegas]
+            for f in futures:
+                f.result(timeout=30)
+        s = fleet.stats
+        assert s.submitted == 8
+        assert s.served == 8
+        assert s.lost == 0
+        assert s.requests == 8          # summed per-shard accepted
+        assert sum(d["requests"] for d in s.per_shard.values()) == 8
+        # Every request is two hops: ω out, field back.
+        assert s.send_calls == 16
+        assert s.send_bytes > 0
+
+    def test_wrong_arity_omega_is_request_error_not_fault(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        with pytest.raises(ValueError, match="expects omega"):
+            fleet.submit("m", np.zeros(3))
+        s = fleet.stats
+        assert s.errors == 1
+        assert s.shard_faults == 0
+        assert s.healthy_shards == 3
+        assert s.lost == 0
+
+    def test_virtual_clock_charged_with_time_model(self, served):
+        model, problem = served
+        fleet = ShardedFleet(FleetConfig(
+            shards=2, replicas=1,
+            server=ServerConfig(max_batch=2, max_wait_ms=0, cache_bytes=0),
+            time_model=lambda nbytes, world: nbytes * 1e-9 + 1e-6))
+        fleet.register_model("m", model, problem)
+        fleet.predict("m", RNG.uniform(-3, 3, 4))
+        assert fleet.stats.virtual_comm_seconds > 0
+
+    def test_per_shard_spill_dirs_are_disjoint(self, served, tmp_path):
+        model, problem = served
+        fleet = ShardedFleet(FleetConfig(
+            shards=3, replicas=1,
+            server=ServerConfig(max_batch=2, max_wait_ms=0,
+                                cache_dir=str(tmp_path / "spill"))))
+        fleet.register_model("m", model, problem)
+        dirs = {s.server.config.cache_dir for s in fleet.shards}
+        assert len(dirs) == 3
+        for shard in fleet.shards:
+            assert shard.id in shard.server.config.cache_dir
+
+
+class TestShardAwareAioFacade:
+    def test_async_predict_over_fleet(self, served):
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        omega = RNG.uniform(-3, 3, 4)
+
+        async def run():
+            async with AsyncPredictionServer(fleet) as aserver:
+                return await aserver.predict("m", omega)
+
+        u = asyncio.run(run())
+        np.testing.assert_allclose(u, predict_batch(model, problem, omega)[0],
+                                   atol=1e-5)
+        assert fleet.stats.lost == 0
+        assert not fleet.running       # __aexit__ closed the fleet
+
+    def test_async_failover_is_transparent(self, served):
+        """An awaited request served by a replica after the primary
+        faults resolves normally — shard-awareness for free."""
+        model, problem = served
+        fleet = _fleet()
+        fleet.register_model("m", model, problem)
+        primary = next(s for s in fleet.shards
+                       if s.id == fleet.replicas_for("m")[0])
+
+        def boom(entry, omegas, resolution):
+            raise RuntimeError("injected fault")
+
+        primary.server._forward = boom
+        omega = RNG.uniform(-3, 3, 4)
+
+        async def run():
+            async with AsyncPredictionServer(fleet) as aserver:
+                return await aserver.predict("m", omega)
+
+        u = asyncio.run(run())
+        np.testing.assert_allclose(u, predict_batch(model, problem, omega)[0],
+                                   atol=1e-5)
+        assert not primary.healthy
+        assert fleet.stats.failovers >= 1
+
+    def test_async_hang_failover(self, served):
+        """A hung shard is ejected from the event loop too: the facade
+        re-waits in shard_timeout_s slices and calls hang_failover, so
+        an await recovers instead of blocking forever."""
+        import threading
+
+        model, problem = served
+        fleet = ShardedFleet(FleetConfig(
+            shards=3, replicas=2, shard_timeout_s=0.25,
+            server=ServerConfig(max_batch=4, max_wait_ms=0,
+                                cache_bytes=0)))
+        fleet.register_model("m", model, problem)
+        primary = next(s for s in fleet.shards
+                       if s.id == fleet.replicas_for("m")[0])
+        release = threading.Event()
+        forward = primary.server._forward
+
+        def hung(entry, omegas, resolution):
+            assert release.wait(timeout=60)
+            return forward(entry, omegas, resolution)
+
+        primary.server._forward = hung
+        omega = RNG.uniform(-3, 3, 4)
+
+        async def run():
+            async with AsyncPredictionServer(fleet) as aserver:
+                u = await asyncio.wait_for(aserver.predict("m", omega), 30)
+                release.set()
+                return u
+
+        u = asyncio.run(run())
+        np.testing.assert_allclose(u, predict_batch(model, problem, omega)[0],
+                                   atol=1e-5)
+        assert not primary.healthy
+        s = fleet.stats
+        assert s.hangs == 1
+        assert s.served == 1 and s.lost == 0
+
+    def test_async_client_timeout_sheds_fleet_request(self, served):
+        """A client-side asyncio timeout cancels the underlying fleet
+        request (the hang guard's shield must not swallow it) — counted
+        as cancelled, never served, books balanced."""
+        import threading
+
+        model, problem = served
+        fleet = ShardedFleet(FleetConfig(
+            shards=2, replicas=1, shard_timeout_s=30.0,
+            server=ServerConfig(max_batch=2, max_wait_ms=0,
+                                cache_bytes=0)))
+        fleet.register_model("m", model, problem)
+        primary = next(s for s in fleet.shards
+                       if s.id == fleet.replicas_for("m")[0])
+        entered = threading.Event()
+        release = threading.Event()
+        forward = primary.server._forward
+
+        def hung(entry, omegas, resolution):
+            entered.set()
+            assert release.wait(timeout=60)
+            return forward(entry, omegas, resolution)
+
+        primary.server._forward = hung
+        omega = RNG.uniform(-3, 3, 4)
+
+        async def run():
+            async with AsyncPredictionServer(fleet) as aserver:
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(aserver.predict("m", omega), 0.5)
+                assert entered.wait(timeout=30)
+                release.set()
+
+        asyncio.run(run())          # __aexit__ drains the worker
+        s = fleet.stats
+        assert s.cancelled == 1
+        assert s.served == 0
+        assert s.lost == 0

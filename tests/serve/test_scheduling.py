@@ -22,13 +22,18 @@ from repro.serve import (
 RNG = np.random.default_rng(23)
 
 
-def _request(priority=0, tag=0.0, deadline_s=None):
+def _request(priority=0, tag=0.0, deadline_s=None, enqueued_at=None):
     expires = time.perf_counter() + deadline_s if deadline_s is not None \
         else None
-    return PredictRequest(model_name="m", omega=np.full(4, tag),
-                          resolution=16, future=Future(), key=("k", tag),
-                          priority=priority, deadline_s=deadline_s,
-                          expires_at=expires)
+    req = PredictRequest(model_name="m", omega=np.full(4, tag),
+                         resolution=16, future=Future(), key=("k", tag),
+                         priority=priority, deadline_s=deadline_s,
+                         expires_at=expires)
+    if enqueued_at is not None:
+        # Forged timestamps make aging tests deterministic: the heap
+        # rank is computed from enqueued_at at put() time.
+        req.enqueued_at = enqueued_at
+    return req
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +101,91 @@ class TestRequestQueue:
         q.put(_request(priority=9, tag=3))
         batch = MicroBatcher(max_batch=2, max_wait_ms=0).collect(q)
         assert [r.omega[0] for r in batch] == [3, 1]
+
+
+class TestPriorityAging:
+    """aging_s keys the heap by virtual start time
+    ``enqueued_at - priority * aging_s``: fresh requests still order by
+    priority, but a request that has waited ``Δpriority * aging_s``
+    overtakes — the starvation bound the ROADMAP asked for."""
+
+    def test_fresh_requests_still_order_by_priority(self):
+        now = time.perf_counter()
+        q = RequestQueue(aging_s=0.1)
+        q.put(_request(priority=0, tag=1, enqueued_at=now))
+        q.put(_request(priority=5, tag=2, enqueued_at=now))
+        assert [q.get().omega[0] for _ in range(2)] == [2, 1]
+
+    def test_aged_low_priority_overtakes_fresh_high(self):
+        now = time.perf_counter()
+        q = RequestQueue(aging_s=0.1)
+        # The bulk request has waited 1 s — ten priority levels of age
+        # credit at aging_s=0.1 — so it beats a fresh priority-5 one.
+        q.put(_request(priority=0, tag=1, enqueued_at=now - 1.0))
+        q.put(_request(priority=5, tag=2, enqueued_at=now))
+        assert [q.get().omega[0] for _ in range(2)] == [1, 2]
+
+    def test_age_below_the_bound_does_not_overtake(self):
+        now = time.perf_counter()
+        q = RequestQueue(aging_s=0.1)
+        # 0.3 s of age is only three levels — not enough against Δ5.
+        q.put(_request(priority=0, tag=1, enqueued_at=now - 0.3))
+        q.put(_request(priority=5, tag=2, enqueued_at=now))
+        assert [q.get().omega[0] for _ in range(2)] == [2, 1]
+
+    def test_fifo_within_a_priority_level_preserved(self):
+        now = time.perf_counter()
+        q = RequestQueue(aging_s=0.5)
+        for i, tag in enumerate((1, 2, 3)):
+            q.put(_request(priority=3, tag=tag, enqueued_at=now + i * 1e-4))
+        assert [q.get().omega[0] for _ in range(3)] == [1, 2, 3]
+
+    def test_invalid_aging_rejected(self):
+        with pytest.raises(ValueError):
+            RequestQueue(aging_s=0.0)
+        with pytest.raises(ValueError):
+            RequestQueue(aging_s=-1.0)
+
+    def test_starvation_regression_end_to_end(self, served):
+        """The deterministic regression: with the single worker blocked,
+        an aged bulk request dequeues ahead of a sustained fresh
+        high-priority lane — under strict priority (aging off) the same
+        arrangement starves it to the back."""
+        *_, registry = served
+
+        def run(aging_s):
+            server = PredictionServer(registry, ServerConfig(
+                max_batch=1, max_wait_ms=0, workers=1, cache_bytes=0,
+                priority_aging_s=aging_s))
+            hook = _BlockedWorker(server)
+            with server:
+                filler = hook.block()
+                now = time.perf_counter()
+                # A bulk request that has already waited 10 s...
+                aged = _request(priority=0, tag=1.0, enqueued_at=now - 10.0)
+                server._queue.put(aged)
+                # ...behind a sustained stream of fresh interactive ones.
+                fresh = [_request(priority=5, tag=100.0 + i, enqueued_at=now)
+                         for i in range(3)]
+                for req in fresh:
+                    server._queue.put(req)
+                hook.release.set()
+                for req in [aged] + fresh:
+                    req.future.result(timeout=30)
+                filler.result(timeout=30)
+            return hook.order
+
+        # Aged bulk request escalates past the interactive lane...
+        assert run(aging_s=1.0) == [1.0, 100.0, 101.0, 102.0]
+        # ...but strict priority (the default) starves it to the back.
+        assert run(aging_s=None) == [100.0, 101.0, 102.0, 1.0]
+
+    def test_server_config_wires_aging_into_queue(self, served):
+        *_, registry = served
+        server = PredictionServer(registry, ServerConfig(
+            priority_aging_s=0.25))
+        assert server._queue.aging_s == 0.25
+        assert PredictionServer(registry)._queue.aging_s is None
 
 
 class TestCollectExpiry:

@@ -159,3 +159,105 @@ class TestRaggedHaloParallel:
             got = tiled_predict(model, problem, omegas, tile=8, halo=8,
                                 executor=executor)
         np.testing.assert_array_equal(got, serial)
+
+
+class _InlineProcessExecutor:
+    """Executor that *claims* to be a process pool but runs inline —
+    the tiled path takes its pickled-blob branch deterministically,
+    with no real multiprocessing underneath."""
+
+    kind = "process"
+    workers = 2
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+    def warm(self):
+        pass
+
+    def close(self):
+        pass
+
+
+class TestNetBlobReuse:
+    """The ROADMAP 'persistent process fleet' fix: a serving process
+    must serialize each model once per content version, not once per
+    tiled call (the blob is the payload every tile task replays)."""
+
+    def _counting_dumps(self, monkeypatch):
+        import pickle
+
+        from repro.nn.module import Module
+
+        counted = []
+        real_dumps = pickle.dumps
+
+        def counting(obj, *args, **kwargs):
+            if isinstance(obj, Module):
+                counted.append(type(obj).__name__)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(pickle, "dumps", counting)
+        return counted
+
+    def test_server_pickles_net_once_per_version(self, monkeypatch):
+        from repro.serve import ModelRegistry, PredictionServer, ServerConfig
+
+        problem = PoissonProblem2D(16)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=6)
+        registry = ModelRegistry()
+        registry.register_model("m", model, problem)
+        server = PredictionServer(registry, ServerConfig(
+            tile=8, cache_bytes=0))
+        server._executor = _InlineProcessExecutor()
+        counted = self._counting_dumps(monkeypatch)
+
+        base = _omegas(1)[0]
+        for i in range(3):                    # three tiled forwards...
+            u = server.predict("m", base + 0.1 * i)
+        assert counted.count("UNet") == 1     # ...one serialization
+        assert np.abs(u - predict_batch(
+            model, problem, base + 0.2)[0]).max() <= 1e-5
+
+    def test_new_version_pickles_again(self, monkeypatch):
+        """A different checkpoint under the same name is a new content
+        version: it gets its own (single) serialization."""
+        from repro.serve import ModelRegistry, PredictionServer, ServerConfig
+
+        problem = PoissonProblem2D(16)
+        registry = ModelRegistry()
+        registry.register_model(
+            "m", MGDiffNet(ndim=2, base_filters=4, depth=1, rng=6), problem)
+        server = PredictionServer(registry, ServerConfig(
+            tile=8, cache_bytes=0))
+        server._executor = _InlineProcessExecutor()
+        counted = self._counting_dumps(monkeypatch)
+
+        server.predict("m", _omegas(1)[0])
+        registry.register_model(
+            "m", MGDiffNet(ndim=2, base_filters=4, depth=1, rng=7), problem)
+        server.predict("m", _omegas(1)[0])
+        server.predict("m", _omegas(1)[0] + 0.5)
+        assert counted.count("UNet") == 2     # one per version, not per call
+        # The swapped-out version's blob is pruned — hot swaps must not
+        # leak one model-sized blob per retrain.
+        assert len(server._net_blobs) == 1
+
+    def test_bare_tiled_predict_with_net_ref_skips_pickling(
+            self, monkeypatch):
+        import pickle
+
+        problem = PoissonProblem2D(16)
+        model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=6)
+        omegas = _omegas(2)
+        serial = tiled_predict(model, problem, omegas, tile=8)
+        # The blob must capture the *serving* (eval) mode — exactly what
+        # a registry entry pins before the server ever builds a net_ref.
+        model.eval()
+        blob = pickle.dumps(model.net)
+        counted = self._counting_dumps(monkeypatch)
+        got = tiled_predict(model, problem, omegas, tile=8,
+                            executor=_InlineProcessExecutor(),
+                            net_ref=("v0", blob))
+        assert counted == []                  # the cached blob was replayed
+        np.testing.assert_array_equal(got, serial)

@@ -197,3 +197,58 @@ class TestServe:
         out = capsys.readouterr().out
         assert "spill writes" in out
         assert cache_dir.exists()
+
+
+class TestServeFleet:
+    def test_serve_sharded_fleet(self, trained_checkpoint, capsys):
+        assert main(["serve", "--checkpoint", f"demo={trained_checkpoint}",
+                     "--requests", "8", "--max-batch", "4",
+                     "--shards", "3", "--replicas", "2",
+                     "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas ['shard-" in out       # write fan-out reported
+        assert "served 16 of 16 requests" in out
+        assert "across 3 shards" in out
+        assert "lost: 0" in out                 # conservation law
+        assert "interconnect (simulated)" in out
+        assert out.count("[up]") == 3
+
+    def test_serve_fleet_omega_file(self, trained_checkpoint, tmp_path,
+                                    capsys):
+        omega_file = tmp_path / "omegas.csv"
+        omega_file.write_text("0.1,0.2,0.3,0.4\n-1.0,2.0,0.0,1.0\n")
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--omega-file", str(omega_file),
+                     "--shards", "2", "--replicas", "1"]) == 0
+        assert "served 2 of 2 requests" in capsys.readouterr().out
+
+    def test_serve_fleet_missing_checkpoint_fails_cleanly(
+            self, tmp_path, capsys):
+        assert main(["serve", "--checkpoint", str(tmp_path / "nope.npz"),
+                     "--shards", "2"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_priority_aging_flag_accepted(self, trained_checkpoint,
+                                                capsys):
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "4", "--priority-aging", "0.5"]) == 0
+        assert "served 4 requests" in capsys.readouterr().out
+
+    def test_priority_aging_zero_means_strict(self, trained_checkpoint,
+                                              capsys):
+        # 0 is a natural spelling of "strict priority" — it must behave
+        # like the default, not crash server construction.
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "4", "--priority-aging", "0"]) == 0
+        assert "served 4 requests" in capsys.readouterr().out
+
+    def test_negative_priority_aging_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--checkpoint", "x.npz",
+                                       "--priority-aging", "-1"])
+
+    def test_zero_shards_or_replicas_rejected_by_parser(self):
+        for flag in ("--shards", "--replicas"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--checkpoint", "x.npz",
+                                           flag, "0"])
