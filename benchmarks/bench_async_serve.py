@@ -30,9 +30,9 @@ from repro.serve import (
 )
 
 try:
-    from .common import bench_cli, report
-except ImportError:  # standalone execution
-    from common import bench_cli, report
+    from .common import bench_cli, report, write_bench_json
+except ImportError:  # pragma: no cover - script mode
+    from common import bench_cli, report, write_bench_json
 
 RESOLUTION = 16
 BASE_FILTERS = 8
@@ -205,13 +205,7 @@ if __name__ == "__main__":
     _report(result)
     status = _gate(result)
     if args.json:
-        import json
-        from pathlib import Path
-
-        from repro.backend import get_backend, get_default_dtype
-
-        result["backend"] = get_backend().name
-        result["dtype"] = np.dtype(get_default_dtype()).name
-        Path(args.json).write_text(json.dumps(result, indent=2))
+        write_bench_json(args.json, "async_serve", result,
+                         gate="pass" if status == 0 else "fail")
         print(f"wrote {args.json}")
     sys.exit(status)

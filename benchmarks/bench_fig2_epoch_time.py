@@ -14,9 +14,9 @@ from repro import PoissonProblem2D
 from repro.perf import measure_epoch_time
 
 try:
-    from .common import bench_cli, report, small_model_2d
-except ImportError:  # standalone execution
-    from common import bench_cli, report, small_model_2d
+    from .common import bench_cli, report, small_model_2d, write_bench_json
+except ImportError:  # pragma: no cover - script mode
+    from common import bench_cli, report, small_model_2d, write_bench_json
 
 RESOLUTIONS = (8, 16, 32, 64)
 
@@ -53,19 +53,9 @@ if __name__ == "__main__":
     rows = _run()
     report("fig2_epoch_time", ["resolution", "dofs", "epoch_seconds"], rows)
     if args.json:
-        import json
-        from pathlib import Path
-
-        import numpy as _np
-
-        from repro.backend import get_backend, get_conv_plan_mode, get_default_dtype
-
-        # Record the *active* configuration (CLI flags and the
-        # REPRO_BACKEND / REPRO_CONV_PLAN env vars both land here).
-        payload = {"backend": get_backend().name,
-                   "dtype": _np.dtype(get_default_dtype()).name,
-                   "conv_plan": get_conv_plan_mode(),
-                   "rows": [{"resolution": r, "dofs": d, "epoch_seconds": t}
-                            for r, d, t in rows]}
-        Path(args.json).write_text(json.dumps(payload, indent=2))
+        # The active configuration (CLI flags and the REPRO_BACKEND /
+        # REPRO_CONV_PLAN env vars) lands in the shared schema header.
+        write_bench_json(args.json, "fig2_epoch_time", {
+            "rows": [{"resolution": r, "dofs": d, "epoch_seconds": t}
+                     for r, d, t in rows]})
         print(f"wrote {args.json}")

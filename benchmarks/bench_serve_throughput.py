@@ -18,9 +18,9 @@ from repro.data.sobol import sample_omega
 from repro.serve import ModelRegistry, PredictionServer, ServerConfig
 
 try:
-    from .common import bench_cli, report
-except ImportError:  # standalone execution
-    from common import bench_cli, report
+    from .common import bench_cli, report, write_bench_json
+except ImportError:  # pragma: no cover - script mode
+    from common import bench_cli, report, write_bench_json
 
 RESOLUTION = 16
 BASE_FILTERS = 8
@@ -116,15 +116,7 @@ if __name__ == "__main__":
     print(f"best batched: max_batch={best['max_batch']} "
           f"{best['qps']:.1f} QPS = {best['qps'] / base:.2f}x sequential")
     if args.json:
-        import json
-        from pathlib import Path
-
-        from repro.backend import get_backend, get_default_dtype
-        import numpy as _np
-
-        payload = {
-            "backend": get_backend().name,
-            "dtype": _np.dtype(get_default_dtype()).name,
+        write_bench_json(args.json, "serve_throughput", {
             "resolution": RESOLUTION,
             "base_filters": BASE_FILTERS,
             "depth": DEPTH,
@@ -133,6 +125,5 @@ if __name__ == "__main__":
             "best_batched_qps": best["qps"],
             "speedup_best": best["qps"] / base,
             "rows": rows,
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2))
+        })
         print(f"wrote {args.json}")

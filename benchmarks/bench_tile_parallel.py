@@ -28,9 +28,9 @@ from repro import MGDiffNet, PoissonProblem2D
 from repro.serve import default_workers, make_executor, tiled_predict
 
 try:
-    from .common import bench_cli, report
-except ImportError:  # standalone execution
-    from common import bench_cli, report
+    from .common import bench_cli, report, write_bench_json
+except ImportError:  # pragma: no cover - script mode
+    from common import bench_cli, report, write_bench_json
 
 RESOLUTION = 256          # >= 256^2 grid (acceptance floor)
 TILE = 64
@@ -124,13 +124,7 @@ if __name__ == "__main__":
     _report(result)
     status = _gate(result)
     if args.json:
-        import json
-        from pathlib import Path
-
-        from repro.backend import get_backend, get_conv_plan_mode
-
-        result["backend"] = get_backend().name
-        result["conv_plan"] = get_conv_plan_mode()
-        Path(args.json).write_text(json.dumps(result, indent=2))
+        write_bench_json(args.json, "tile_parallel", result,
+                         gate="pass" if status == 0 else "fail")
         print(f"wrote {args.json}")
     sys.exit(status)

@@ -17,8 +17,11 @@ the command line on identical workloads.
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from repro import MGDiffNet, MGTrainConfig
 from repro.backend import (
@@ -27,6 +30,41 @@ from repro.backend import (
 from repro.utils import format_table, write_csv
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(path: str | Path, bench: str, result: dict,
+                     gate: str | None = None) -> Path:
+    """Write one ``BENCH_*.json`` CI artifact on the shared schema.
+
+    Every emitter goes through here so artifacts stay machine-comparable
+    across benchmarks and PRs::
+
+        {"schema": 1, "bench": <name>,
+         "backend": <active backend>, "dtype": <default dtype>,
+         "conv_plan": <active conv mode>,
+         "gate": "pass" | "fail" | "skip:<reason>" | null,
+         "result": {...}}                       # bench-specific payload
+
+    ``gate`` records the outcome of the bench's own pass/fail (or why it
+    was skipped, e.g. no C compiler), so CI can distinguish "regressed"
+    from "could not measure here".
+    """
+    from repro.backend import get_backend, get_conv_plan_mode, get_default_dtype
+
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "backend": get_backend().name,
+        "dtype": np.dtype(get_default_dtype()).name,
+        "conv_plan": get_conv_plan_mode(),
+        "gate": gate,
+        "result": result,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
 
 
 def report(name: str, header: Sequence[str], rows: list[Sequence]) -> None:

@@ -1,0 +1,102 @@
+"""The lazy op-graph backend: fusion and JIT-compiled kernels, end to end.
+
+Eager NumPy executes ``x + omega * inv_d * r * interior`` as a parade of
+full-size temporaries; the ``"lazy"`` backend records the chain as a
+graph, fuses it into one kernel at ``realize()``, and — when a C
+compiler is on the host — lowers the fused expression to generated C,
+compiled once and cached on disk for every later process.
+
+This example:
+
+1. runs the GMG damped-Jacobi smoother chain under eager and lazy and
+   shows the fusion statistics (clusters, ops folded, JIT vs
+   interpreted runs);
+2. demonstrates that results are identical to the last bit;
+3. shows the kernel signature — the structural identity that lets any
+   process reuse the compiled kernel regardless of data values;
+4. times both paths.
+
+Usage::
+
+    python examples/lazy_backend.py
+    REPRO_JIT_DISABLE=1 python examples/lazy_backend.py   # interpreter
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backend import (
+    lazy_stats, ops as B, realize, reset_lazy_stats, use_backend,
+)
+from repro.backend.lazy import jit_enabled
+from repro.utils import format_table
+
+SIZE = 1 << 20
+SWEEPS = 10
+OMEGA = 2.0 / 3.0
+
+
+def smoother_chain(x, r, diag, interior, sweeps):
+    """Damped-Jacobi updates — the hot chain inside every GMG cycle."""
+    for _ in range(sweeps):
+        inv_d = B.where(diag != 0, 1.0 / diag, 0.0)
+        x = realize(x + OMEGA * inv_d * r * interior)
+    return x
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x0 = rng.standard_normal(SIZE)
+    r = rng.standard_normal(SIZE)
+    diag = rng.uniform(1.0, 2.0, SIZE)
+    interior = (np.arange(SIZE) % 7 != 0).astype(np.float64)
+
+    def eager_run():
+        return smoother_chain(x0.copy(), r, diag, interior, SWEEPS)
+
+    def lazy_run():
+        return np.asarray(smoother_chain(
+            B.asarray(x0.copy()), B.asarray(r), B.asarray(diag),
+            B.asarray(interior), SWEEPS))
+
+    def best_of(fn, reps=3):
+        times, out = [], None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            out = fn()
+            times.append(time.perf_counter() - t0)
+        return min(times), out
+
+    # Eager reference.
+    t_eager, eager = best_of(eager_run)
+
+    # Lazy: same code, backend switched; realize() fuses each sweep.
+    with use_backend("lazy"):
+        lazy_run()                                    # warm the JIT cache
+        reset_lazy_stats()
+        t_lazy, lazy = best_of(lazy_run)
+        stats = lazy_stats()
+
+    assert np.array_equal(eager, lazy), "lazy must match eager bitwise"
+
+    mode = "JIT (compiled C)" if jit_enabled() else "interpreter (no cc)"
+    print(f"backend executor: {mode}\n")
+    print(format_table(
+        ["path", "time (ms)", "clusters", "fused ops", "jit", "interp"],
+        [["eager", f"{t_eager * 1e3:.1f}", "-", "-", "-", "-"],
+         ["lazy", f"{t_lazy * 1e3:.1f}", stats["clusters"],
+          stats["fused_ops"], stats["jit_runs"],
+          stats["interpreted_runs"]]]))
+
+    sig = stats["recent_signatures"][-1]
+    print(f"\nfused kernel signature (structure only, value-free):\n  {sig}")
+    print("\nSame signature in any process → same cached kernel "
+          "(~/.cache/repro/jit_kernels). Results are bitwise identical: "
+          f"{np.array_equal(eager, lazy)}")
+
+
+if __name__ == "__main__":
+    main()

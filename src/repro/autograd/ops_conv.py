@@ -24,7 +24,12 @@ from typing import Sequence
 import numpy as np
 
 from ..backend import ops as B
-from ..backend.conv_plan import plan_conv, run_conv_forward, run_conv_backward
+from ..backend import realize
+from ..backend.conv_plan import (
+    get_conv_transpose_mode, plan_conv, plan_conv_transpose,
+    run_conv_backward, run_conv_forward, run_conv_transpose_backward,
+    run_conv_transpose_forward,
+)
 from .function import Context, Function
 from .tensor import Tensor
 from . import ops_basic as ob
@@ -78,6 +83,9 @@ class ConvNd(Function):
     @staticmethod
     def forward(ctx: Context, x: np.ndarray, w: np.ndarray, b: np.ndarray | None,
                 stride: tuple[int, ...], padding: tuple[int, ...]) -> np.ndarray:
+        # The planner works on concrete strided buffers: crossing into it
+        # is a realize barrier for the lazy backend.
+        x, w = realize(x), realize(w)
         nd = x.ndim - 2
         n, cin = x.shape[:2]
         cout = w.shape[0]
@@ -87,7 +95,7 @@ class ConvNd(Function):
 
         if any(padding):
             padw = ((0, 0), (0, 0)) + tuple((p, p) for p in padding)
-            xp = B.pad(x, padw)
+            xp = realize(B.pad(x, padw))
         else:
             xp = x
         out_spatial = conv_output_shape(xp.shape[2:], kernel, stride, (0,) * nd)
@@ -95,7 +103,9 @@ class ConvNd(Function):
         plan = plan_conv(x.shape, w.shape, stride, padding, x.dtype)
         out = run_conv_forward(plan, xp, w, stride, out_spatial)
         if b is not None:
-            out = out + b.reshape((1, cout) + (1,) * nd)
+            # Dispatch the epilogue through the registry so the lazy
+            # backend can fuse conv -> bias-add -> activation.
+            out = B.asarray(out) + realize(b).reshape((1, cout) + (1,) * nd)
 
         ctx.save_for_backward(xp, w)
         ctx.meta.update(stride=stride, padding=padding, kernel=kernel,
@@ -113,7 +123,8 @@ class ConvNd(Function):
         plan = ctx.meta["plan"]
         nd = len(kernel)
 
-        gmoved = B.moveaxis(grad, 1, -1)                     # (N, *So, Cout)
+        grad = realize(grad)
+        gmoved = realize(B.moveaxis(grad, 1, -1))            # (N, *So, Cout)
         dxp, dw = run_conv_backward(plan, xp, w, gmoved, stride, out_spatial)
         # Strip padding.
         if any(padding):
@@ -127,6 +138,54 @@ class ConvNd(Function):
         if ctx.meta["has_bias"]:
             db = grad.sum(axis=(0,) + tuple(range(2, 2 + nd)))
         return dx, dw, db, None, None
+
+
+class ConvTransposeNd(Function):
+    """N-dimensional transposed convolution via the output-scatter plan.
+
+    Contracts input channels against the kernel and scatter-adds each tap
+    directly into the (strided) output — no zero-stuffed intermediate is
+    ever materialized, unlike the composed reference path.  The data
+    gradient is a planned *forward* convolution of the re-padded output
+    gradient, and the weight gradient a single strided-window
+    contraction, so both directions stay on the GEMM engines.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, w: np.ndarray, b: np.ndarray | None,
+                stride: tuple[int, ...], padding: tuple[int, ...],
+                output_padding: tuple[int, ...]) -> np.ndarray:
+        # The scatter engines work on concrete strided buffers: crossing
+        # into them is a realize barrier for the lazy backend.
+        x, w = realize(x), realize(w)
+        nd = x.ndim - 2
+        cin, cout = w.shape[:2]
+        if x.shape[1] != cin:
+            raise ValueError(f"weight C_in {w.shape[0]} != input C_in {x.shape[1]}")
+
+        plan = plan_conv_transpose(x.shape, w.shape, stride, padding,
+                                   output_padding, x.dtype)
+        out = run_conv_transpose_forward(plan, x, w)
+        if b is not None:
+            # Dispatch the epilogue through the registry so the lazy
+            # backend can fuse the bias-add into the following activation.
+            out = B.asarray(out) + realize(b).reshape((1, cout) + (1,) * nd)
+
+        ctx.save_for_backward(x, w)
+        ctx.meta.update(plan=plan, has_bias=b is not None, nd=nd)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        x, w = ctx.saved
+        plan = ctx.meta["plan"]
+        nd = ctx.meta["nd"]
+        grad = realize(grad)
+        dx, dw = run_conv_transpose_backward(plan, x, w, grad)
+        db = None
+        if ctx.meta["has_bias"]:
+            db = grad.sum(axis=(0,) + tuple(range(2, 2 + nd)))
+        return dx, dw, db, None, None, None
 
 
 class MaxPoolNd(Function):
@@ -212,10 +271,16 @@ def conv_transpose_nd(x: Tensor, w: Tensor, b: Tensor | None = None,
                       output_padding: int | Sequence[int] = 0) -> Tensor:
     """Functional N-d transposed convolution.
 
-    Composed from differentiable primitives: zero-stuffing by the stride,
-    constant padding by ``kernel - 1 - padding``, a spatial flip of the
-    weight, a channel transpose and a stride-1 convolution.  The backward
-    pass therefore falls out of the existing op gradients.
+    Two numerically equivalent paths, selected by
+    :func:`repro.backend.conv_plan.set_conv_transpose_mode` (or
+    ``REPRO_CONVT_PLAN``):
+
+    * ``scatter`` (default) — the planned output-scatter GEMM engine
+      (:class:`ConvTransposeNd`): no zero-stuffed intermediate, dedicated
+      backward.
+    * ``compose`` — the original composition of differentiable
+      primitives (zero-stuffing, padding, weight flip, channel transpose,
+      stride-1 conv), kept as the parity reference.
     """
     nd = x.ndim - 2
     stride_t = tuplify(stride, nd)
@@ -227,6 +292,9 @@ def conv_transpose_nd(x: Tensor, w: Tensor, b: Tensor | None = None,
             raise ValueError("padding larger than kernel-1 is unsupported")
         if op >= max(stride_t):
             raise ValueError("output_padding must be < stride")
+
+    if get_conv_transpose_mode() == "scatter":
+        return ConvTransposeNd.apply(x, w, b, stride_t, padding_t, outpad_t)
 
     xz = ob.zero_stuff(x, stride_t) if any(s > 1 for s in stride_t) else x
     padw = [(0, 0), (0, 0)] + [

@@ -36,10 +36,8 @@ not re-examined either.
 
 from __future__ import annotations
 
-import json
 import math
 import os
-import platform
 import threading
 import time
 from dataclasses import dataclass
@@ -49,11 +47,15 @@ from pathlib import Path
 import numpy as np
 
 from .registry import get_backend, ops as B
+from .tuning import MeasurementCache, host_fingerprint
 
 __all__ = [
     "ConvSignature", "ConvPlan", "plan_conv", "clear_plan_cache",
     "plan_cache_info", "set_conv_plan_mode", "get_conv_plan_mode",
     "run_conv_forward", "run_conv_backward",
+    "ConvTransposePlan", "plan_conv_transpose",
+    "run_conv_transpose_forward", "run_conv_transpose_backward",
+    "set_conv_transpose_mode", "get_conv_transpose_mode",
     "host_fingerprint", "autotune_cache_path", "set_autotune_cache_path",
     "autotune_table", "clear_autotune_table", "save_autotune_table",
 ]
@@ -191,106 +193,42 @@ AUTOTUNE_MAX_BYTES = 1 << 27          # skip timing above 128 MiB of input:
 #                                       a single probe would thrash memory,
 #                                       and the heuristic is reliable there
 
-_AUTOTUNE_LOCK = threading.Lock()     # guards the table (held briefly)
 _MEASURE_LOCK = threading.Lock()      # serializes engine timing only:
 #                                       concurrent probes would perturb
 #                                       each other's measurements, but
 #                                       table lookups for already-known
 #                                       signatures must never wait on a
 #                                       seconds-long timing run
-_autotune_path: Path | None = None    # None: env var / default location
-_autotune_host: dict[str, dict] | None = None  # this host's decisions
-_autotune_dirty = False
 
-
-def host_fingerprint() -> str:
-    """Stable identity of the timing environment.
-
-    Measured winners transfer between runs on the same machine but not
-    between machines, so the persisted table is partitioned by a digest
-    of the performance-relevant host facts.
-    """
-    import hashlib
-
-    facts = (platform.machine(), platform.system(), platform.processor(),
-             str(os.cpu_count()), platform.python_version(),
-             np.__version__)
-    return hashlib.sha1("|".join(facts).encode()).hexdigest()[:12]
+# The persisted measured-decision table: host-fingerprinted JSON managed
+# by the shared autotuner seam (repro.backend.tuning).  Memoized plans
+# may reference stale decisions when the table moves, hence the
+# invalidation hook.
+_MEASUREMENTS = MeasurementCache(
+    default_path=Path.home() / ".cache" / "repro" / "conv_autotune.json",
+    env_var="REPRO_AUTOTUNE_CACHE",
+    on_invalidate=lambda: clear_plan_cache())
 
 
 def autotune_cache_path() -> Path:
     """Where the measured decision table lives on disk."""
-    if _autotune_path is not None:
-        return _autotune_path
-    env = os.environ.get("REPRO_AUTOTUNE_CACHE")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "conv_autotune.json"
+    return _MEASUREMENTS.path()
 
 
 def set_autotune_cache_path(path: str | os.PathLike | None) -> None:
-    """Override the persisted-table location (None restores the default).
-
-    Dropping the in-memory table forces a reload from the new location;
-    memoized plans may still reference old decisions, so the plan cache
-    is cleared too.
-    """
-    global _autotune_path, _autotune_host, _autotune_dirty
-    with _AUTOTUNE_LOCK:
-        _autotune_path = None if path is None else Path(path)
-        _autotune_host = None
-        _autotune_dirty = False
-    clear_plan_cache()
-
-
-def _load_host_table() -> dict[str, dict]:
-    """This host's slice of the persisted table (caller holds the lock)."""
-    global _autotune_host
-    if _autotune_host is None:
-        table: dict[str, dict] = {}
-        path = autotune_cache_path()
-        try:
-            data = json.loads(path.read_text())
-            table = data.get("hosts", {}).get(host_fingerprint(), {})
-            if not isinstance(table, dict):  # pragma: no cover - corrupt
-                table = {}
-        except (OSError, ValueError):
-            table = {}
-        _autotune_host = table
-    return _autotune_host
+    """Override the persisted-table location (None restores the default)."""
+    _MEASUREMENTS.set_path(path)
 
 
 def save_autotune_table() -> Path | None:
     """Persist pending measured decisions (atomic write); returns the
     path written, or None when nothing changed."""
-    global _autotune_dirty
-    with _AUTOTUNE_LOCK:
-        if not _autotune_dirty or _autotune_host is None:
-            return None
-        path = autotune_cache_path()
-        try:
-            data = json.loads(path.read_text())
-            if not isinstance(data, dict):  # pragma: no cover - corrupt
-                data = {}
-        except (OSError, ValueError):
-            data = {}
-        hosts = data.setdefault("hosts", {})
-        merged = dict(hosts.get(host_fingerprint(), {}))
-        merged.update(_autotune_host)
-        hosts[host_fingerprint()] = merged
-        data["version"] = 1
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(data, indent=1, sort_keys=True))
-        os.replace(tmp, path)
-        _autotune_dirty = False
-        return path
+    return _MEASUREMENTS.save()
 
 
 def autotune_table() -> dict[str, dict]:
     """Snapshot of this host's measured decisions (sig key -> record)."""
-    with _AUTOTUNE_LOCK:
-        return dict(_load_host_table())
+    return _MEASUREMENTS.snapshot()
 
 
 def clear_autotune_table(memory_only: bool = False) -> None:
@@ -299,16 +237,7 @@ def clear_autotune_table(memory_only: bool = False) -> None:
     ``memory_only=True`` simulates a process restart: the next autotuned
     plan reloads the persisted table from disk.
     """
-    global _autotune_host, _autotune_dirty
-    with _AUTOTUNE_LOCK:
-        _autotune_host = None
-        _autotune_dirty = False
-        if not memory_only:
-            try:
-                autotune_cache_path().unlink()
-            except OSError:
-                pass
-    clear_plan_cache()
+    _MEASUREMENTS.clear(memory_only=memory_only)
 
 
 def _sig_key(sig: ConvSignature) -> str:
@@ -358,8 +287,7 @@ def _time_engines(sig: ConvSignature) -> dict[str, float]:
 
 def _decide_autotune(sig: ConvSignature) -> tuple[str, str, str | None]:
     key = _sig_key(sig)
-    with _AUTOTUNE_LOCK:
-        rec = _load_host_table().get(key)
+    rec = _MEASUREMENTS.get(key)
     if rec is None:
         rec = _measure_signature(sig, key)
     if rec.get("measured"):
@@ -374,7 +302,6 @@ def _decide_autotune(sig: ConvSignature) -> tuple[str, str, str | None]:
 
 
 def _measure_signature(sig: ConvSignature, key: str) -> dict:
-    global _autotune_dirty
     heuristic_path, heuristic_reason = _decide(sig, "auto")
     input_bytes = (math.prod(sig.x_shape[:2]) * math.prod(sig.padded_spatial)
                    * np.dtype(sig.dtype).itemsize)
@@ -382,37 +309,25 @@ def _measure_signature(sig: ConvSignature, key: str) -> dict:
             or sig.patch_bytes > IM2COL_MAX_PATCH_BYTES:
         # Not worth (or not safe) to probe: trust the heuristic, but
         # record the decision so restarts skip this signature too.
-        rec = {"path": heuristic_path, "measured": False,
-               "reason": heuristic_reason}
-    else:
-        with _MEASURE_LOCK:
-            # Re-check after acquiring: another thread may have finished
-            # measuring this signature while we waited for its probe.
-            with _AUTOTUNE_LOCK:
-                existing = _load_host_table().get(key)
-            if existing is not None:
-                return existing
-            times = _time_engines(sig)
-        rec = {
-            "path": ("im2col" if times["fwd_im2col"]
-                     < times["fwd_tensordot"] else "tensordot"),
-            "backward_path": ("im2col" if times["bwd_im2col"]
-                              < times["bwd_tensordot"]
-                              else "tensordot"),
-            "measured": True, "times": times,
-            "heuristic": heuristic_path,
-        }
-        with _AUTOTUNE_LOCK:
-            rec = _load_host_table().setdefault(key, rec)
-            _autotune_dirty = True
-        save_autotune_table()
-        return rec
-    with _AUTOTUNE_LOCK:
-        table = _load_host_table()
-        rec = table.setdefault(key, rec)
-        _autotune_dirty = True
-    save_autotune_table()
-    return rec
+        return _MEASUREMENTS.setdefault(
+            key, {"path": heuristic_path, "measured": False,
+                  "reason": heuristic_reason})
+    with _MEASURE_LOCK:
+        # Re-check after acquiring: another thread may have finished
+        # measuring this signature while we waited for its probe.
+        existing = _MEASUREMENTS.get(key)
+        if existing is not None:
+            return existing
+        times = _time_engines(sig)
+    return _MEASUREMENTS.setdefault(key, {
+        "path": ("im2col" if times["fwd_im2col"]
+                 < times["fwd_tensordot"] else "tensordot"),
+        "backward_path": ("im2col" if times["bwd_im2col"]
+                          < times["bwd_tensordot"]
+                          else "tensordot"),
+        "measured": True, "times": times,
+        "heuristic": heuristic_path,
+    })
 
 
 def plan_conv(x_shape, w_shape, stride, padding, dtype) -> ConvPlan:
@@ -560,3 +475,171 @@ def run_conv_backward(plan: ConvPlan, xp, w, gmoved, stride, out_spatial):
     if path == "im2col":
         return _backward_im2col(xp, w, gmoved, stride, out_spatial)
     return _backward_tensordot(xp, w, gmoved, stride, out_spatial)
+
+
+# --------------------------------------------------------------------- #
+# Transposed convolution: output-scatter GEMM plan.
+#
+# The composed path (zero-stuff by the stride, pad, flip, stride-1 conv)
+# materializes a zero-stuffed input ~stride^d times the original and
+# then convolves mostly-zero data.  The scatter plan skips it entirely:
+# contract input channels against the whole kernel once (or per tap),
+# then scatter-add each tap's contribution into the output at offset
+# slices of step ``stride`` — writes touch exactly the nonzero work.
+#
+# ``REPRO_CONVT_PLAN`` / :func:`set_conv_transpose_mode` selects
+# ``scatter`` (default) or ``compose`` (the original differentiable
+# composition, kept as the parity reference).
+# --------------------------------------------------------------------- #
+
+_CONVT_MODES = ("scatter", "compose")
+_convt_mode = os.environ.get("REPRO_CONVT_PLAN", "scatter")
+if _convt_mode not in _CONVT_MODES:  # pragma: no cover - env misconfig
+    _convt_mode = "scatter"
+
+
+def set_conv_transpose_mode(mode: str) -> None:
+    """Force the conv-transpose path: 'scatter' (default) or 'compose'."""
+    global _convt_mode
+    if mode not in _CONVT_MODES:
+        raise ValueError(f"mode must be one of {_CONVT_MODES}, got {mode!r}")
+    _convt_mode = mode
+
+
+def get_conv_transpose_mode() -> str:
+    return _convt_mode
+
+
+@dataclass(frozen=True)
+class ConvTransposePlan:
+    """Memoized execution decision for one conv-transpose signature.
+
+    ``path`` selects how the channel contraction is staged:
+
+    * ``'gemm'`` — one ``tensordot(x, w)`` over Cin producing the full
+      ``(N, *S, Cout, *K)`` tap tensor, then k^d scatter-adds.  Fastest
+      when the tap tensor fits comfortably in memory.
+    * ``'tap'``  — k^d thin per-tap GEMMs, O(input) peak memory; the
+      megavoxel-safe choice when the tap tensor would exceed the same
+      patch ceiling the im2col planner respects.
+    """
+
+    x_shape: tuple[int, ...]
+    w_shape: tuple[int, ...]
+    stride: tuple[int, ...]
+    padding: tuple[int, ...]
+    output_padding: tuple[int, ...]
+    path: str
+    reason: str
+
+
+def plan_conv_transpose(x_shape, w_shape, stride, padding, output_padding,
+                        dtype) -> ConvTransposePlan:
+    """Return the (memoized) scatter plan for a conv-transpose call."""
+    global _cache_hits, _cache_misses
+    key = ("convT", tuple(x_shape), tuple(w_shape), tuple(stride),
+           tuple(padding), tuple(output_padding), np.dtype(dtype).str)
+    with _CACHE_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _cache_hits += 1
+            return plan
+        _cache_misses += 1
+    n = x_shape[0]
+    cout = w_shape[1]
+    taps = math.prod(w_shape[2:])
+    tap_bytes = (n * math.prod(x_shape[2:]) * cout * taps
+                 * np.dtype(dtype).itemsize)
+    if tap_bytes > IM2COL_MAX_PATCH_BYTES:
+        path, reason = "tap", (
+            f"tap tensor {tap_bytes >> 20} MiB exceeds patch ceiling")
+    else:
+        path, reason = "gemm", (
+            f"tap tensor {tap_bytes >> 10} KiB, single contraction")
+    plan = ConvTransposePlan(
+        x_shape=tuple(x_shape), w_shape=tuple(w_shape),
+        stride=tuple(stride), padding=tuple(padding),
+        output_padding=tuple(output_padding), path=path, reason=reason)
+    with _CACHE_LOCK:
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def _convt_full_spatial(plan: ConvTransposePlan) -> tuple[int, ...]:
+    """Scatter extent before the padding crop: (S-1)*st + k + op."""
+    return tuple((s - 1) * st + k + op for s, st, k, op in zip(
+        plan.x_shape[2:], plan.stride, plan.w_shape[2:],
+        plan.output_padding))
+
+
+def _convt_scatter_slices(offset, spatial, stride):
+    """Output slices hit by one kernel tap: start=offset, step=stride."""
+    return tuple(slice(o, o + (s - 1) * st + 1, st)
+                 for o, s, st in zip(offset, spatial, stride))
+
+
+def run_conv_transpose_forward(plan: ConvTransposePlan, x, w):
+    """Output-scatter transposed convolution: returns (N, Cout, *So).
+
+    ``x`` is (N, Cin, *S), ``w`` is (Cin, Cout, *K).  No zero-stuffed
+    intermediate exists at any point.
+    """
+    from .lazy.graph import realize
+
+    x, w = realize(x), realize(w)
+    nd = x.ndim - 2
+    n = x.shape[0]
+    cout = w.shape[1]
+    kernel = w.shape[2:]
+    spatial = x.shape[2:]
+    full = _convt_full_spatial(plan)
+    # Accumulate channels-last so each tap scatter is one strided block.
+    acc = np.zeros((n,) + full + (cout,), dtype=x.dtype)
+    if plan.path == "gemm":
+        cols = realize(B.tensordot(x, w, axes=([1], [0])))
+        # cols: (N, *S, Cout, *K)
+        for offset in product(*(range(k) for k in kernel)):
+            sl = _convt_scatter_slices(offset, spatial, plan.stride)
+            acc[(slice(None),) + sl] += cols[(Ellipsis,) + offset]
+    else:
+        for offset in product(*(range(k) for k in kernel)):
+            wo = w[(slice(None), slice(None)) + offset]     # (Cin, Cout)
+            tap = realize(B.tensordot(x, wo, axes=([1], [0])))
+            sl = _convt_scatter_slices(offset, spatial, plan.stride)
+            acc[(slice(None),) + sl] += tap                  # (N, *S, Cout)
+    out = np.moveaxis(acc, -1, 1)
+    crop = tuple(slice(p, fs - p) for p, fs in zip(plan.padding, full))
+    return np.ascontiguousarray(out[(slice(None), slice(None)) + crop])
+
+
+def run_conv_transpose_backward(plan: ConvTransposePlan, x, w, grad):
+    """Gradients of the scatter forward; returns ``(dx, dw)``.
+
+    The data gradient of a transposed convolution is a *forward*
+    convolution of the (re-padded) output gradient with the same weights
+    — so it reuses the planned conv engines.  The weight gradient is one
+    contraction of the input against strided windows of the padded
+    gradient.
+    """
+    from .lazy.graph import realize
+
+    x, w, grad = realize(x), realize(w), realize(grad)
+    nd = x.ndim - 2
+    kernel = w.shape[2:]
+    spatial = x.shape[2:]
+    if any(plan.padding):
+        padw = ((0, 0), (0, 0)) + tuple((p, p) for p in plan.padding)
+        gp = np.pad(grad, padw)
+    else:
+        gp = grad
+    # dx: conv of gp with w (layout (Cin, Cout, *K) is exactly the conv
+    # weight layout with Cout_conv = Cin), same stride, zero padding.
+    conv_plan_ = plan_conv(gp.shape, w.shape, plan.stride,
+                           (0,) * nd, grad.dtype)
+    dx = realize(run_conv_forward(conv_plan_, gp, w, plan.stride, spatial))
+    # dw[ci, co, o] = sum_{n,i} x[n,ci,i] * gp[n,co, st*i + o].
+    win = _strided_windows(gp, kernel, plan.stride, nd)  # (N, Cout, *S, *K)
+    axes = ((0,) + tuple(range(2, 2 + nd)),
+            (0,) + tuple(range(2, 2 + nd)))
+    dw = realize(B.tensordot(x, win, axes=axes))         # (Cin, Cout, *K)
+    return dx, dw

@@ -1,0 +1,24 @@
+"""Lazy op-graph backend: record, fuse, JIT-compile, realize.
+
+Public surface::
+
+    from repro.backend.lazy import LazyBackend, LazyArray
+    from repro.backend.lazy import realize, realize_all, is_lazy
+    from repro.backend.lazy import lazy_stats, reset_lazy_stats
+
+``lazy_stats()`` merges the scheduler's fusion counters with the JIT
+cache's compile/load counters — the observability hook the determinism
+and cache round-trip tests (and ``bench_lazy_fusion``) are built on.
+"""
+
+from .graph import LazyArray, is_lazy, realize, realize_all
+from .ops_lazy import LazyBackend
+from .schedule import schedule_stats as lazy_stats
+from .schedule import reset_schedule_stats as reset_lazy_stats
+from .cjit import jit_cache_dir, jit_enabled, kernel_index
+
+__all__ = [
+    "LazyBackend", "LazyArray", "realize", "realize_all", "is_lazy",
+    "lazy_stats", "reset_lazy_stats",
+    "jit_cache_dir", "jit_enabled", "kernel_index",
+]

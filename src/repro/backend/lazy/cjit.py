@@ -1,0 +1,345 @@
+"""JIT-compile fused clusters to C via ``cc`` + ``ctypes``.
+
+A fused cluster's signature (see :mod:`.schedule`) fully determines the
+generated C: the expression tree, leaf dtypes and broadcast pattern,
+output dtype, rank, and reduction kind.  Three loop shapes are emitted:
+
+* **flat** — all leaves are full-shape contiguous: one ``for`` loop over
+  ``n`` elements, trivially vectorizable;
+* **strided** — some leaf broadcasts (bias epilogues) or is a view: a
+  loop nest of the output rank with per-leaf element strides passed at
+  runtime (stride 0 on broadcast axes);
+* **reduce** — full reduction to a scalar with a ``double`` accumulator.
+
+Scalar constants are runtime arguments, never baked into the source, so
+one compiled kernel serves every ``omega`` the smoother is run with.
+Shared objects live under a host-fingerprinted directory
+(``REPRO_JIT_CACHE`` or ``~/.cache/repro/jit_kernels/``) next to their
+``.c`` source, indexed by a :class:`~repro.backend.tuning.MeasurementCache`
+— a second process dlopens the cached ``.so`` without invoking the
+compiler, which the round-trip test asserts by counting ``compiles``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..tuning import MeasurementCache, host_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .schedule import _Cluster
+
+__all__ = ["jit_enabled", "get_kernel", "run_kernel", "jit_stats",
+           "reset_jit_stats", "jit_cache_dir", "kernel_index"]
+
+
+_LOCK = threading.RLock()
+_kernels: dict[str, "Kernel"] = {}
+_failed: set[str] = set()
+_stats = {
+    "compiles": 0,        # compiler subprocess invocations
+    "kernel_loads": 0,    # dlopens of an already-on-disk .so
+    "kernel_hits": 0,     # in-process kernel table hits
+    "compile_failures": 0,
+}
+_index_cache: dict[Path, MeasurementCache] = {}
+
+
+def _find_compiler() -> str | None:
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+_COMPILER = _find_compiler()
+
+
+def jit_enabled() -> bool:
+    """True when a C compiler exists and the JIT isn't disabled."""
+    if os.environ.get("REPRO_JIT_DISABLE"):
+        return False
+    return _COMPILER is not None
+
+
+def jit_cache_dir() -> Path:
+    env = os.environ.get("REPRO_JIT_CACHE")
+    base = Path(env) if env else Path.home() / ".cache" / "repro" / "jit_kernels"
+    return base / host_fingerprint()
+
+
+def kernel_index() -> MeasurementCache:
+    """The on-disk signature -> shared-object index for this cache dir."""
+    path = jit_cache_dir() / "index.json"
+    with _LOCK:
+        idx = _index_cache.get(path)
+        if idx is None:
+            idx = MeasurementCache(default_path=path)
+            _index_cache[path] = idx
+        return idx
+
+
+def jit_stats() -> dict[str, int]:
+    with _LOCK:
+        return dict(_stats)
+
+
+def reset_jit_stats() -> None:
+    with _LOCK:
+        for k in _stats:
+            _stats[k] = 0
+
+
+@dataclass(frozen=True)
+class Kernel:
+    fn: ctypes._CFuncPtr  # type: ignore[name-defined]
+    variant: str          # "flat" | "strided" | "reduce"
+    rank: int
+    so_path: Path
+    _lib: ctypes.CDLL     # keep the dlopen handle alive
+
+
+# --------------------------------------------------------------------- #
+# C rendering
+# --------------------------------------------------------------------- #
+
+_UNARY_FUNCS = {"exp": "exp", "log": "log", "sqrt": "sqrt",
+                "tanh": "tanh", "floor": "floor"}
+
+
+def _render_expr(expr: tuple, loads: list[str], t: str, fsuf: str) -> str:
+    kind = expr[0]
+    if kind == "in":
+        return loads[expr[1]]
+    if kind == "const":
+        return f"(({t})consts[{expr[1]}])"
+    args = [_render_expr(c, loads, t, fsuf) for c in expr[1:]]
+    if kind == "add":
+        return f"({args[0]} + {args[1]})"
+    if kind == "sub":
+        return f"({args[0]} - {args[1]})"
+    if kind == "mul":
+        return f"({args[0]} * {args[1]})"
+    if kind == "div":
+        return f"({args[0]} / {args[1]})"
+    if kind == "neg":
+        return f"(-{args[0]})"
+    if kind == "pow":
+        return f"pow{fsuf}({args[0]}, {args[1]})"
+    if kind in _UNARY_FUNCS:
+        return f"{_UNARY_FUNCS[kind]}{fsuf}({args[0]})"
+    if kind == "abs":
+        return f"fabs{fsuf}({args[0]})"
+    if kind == "sign":
+        a = args[0]
+        return f"({a} > 0 ? ({t})1 : ({a} < 0 ? ({t})-1 : {a}))"
+    if kind == "maximum":
+        return f"({args[0]} > {args[1]} ? {args[0]} : {args[1]})"
+    if kind == "minimum":
+        return f"({args[0]} < {args[1]} ? {args[0]} : {args[1]})"
+    if kind == "where":
+        return f"({args[0]} != 0 ? {args[1]} : {args[2]})"
+    if kind == "clip":
+        a, lo, hi = args
+        return f"({a} < {lo} ? {lo} : ({a} > {hi} ? {hi} : {a}))"
+    if kind == "logaddexp":
+        a, b = args
+        return (f"(({a} > {b} ? {a} : {b})"
+                f" + log1p{fsuf}(exp{fsuf}(-fabs{fsuf}({a} - {b}))))")
+    raise NotImplementedError(f"no C rendering for op {kind!r}")
+
+
+def _leaf_loads(cluster: "_Cluster", variant: str, rank: int,
+                t: str) -> list[str]:
+    loads = []
+    for i, leaf in enumerate(cluster.leaves):
+        char = np.dtype(leaf.dtype).char
+        ctype = {"f": "float", "d": "double", "?": "unsigned char"}[char]
+        if variant in ("flat", "reduce"):
+            idx = "j"
+        else:
+            idx = " + ".join(f"i{d} * st[{i * rank + d}]"
+                             for d in range(rank)) or "0"
+        load = f"((const {ctype}*)ins[{i}])[{idx}]"
+        if char == "?":
+            load = f"(({t})({load}))"
+        loads.append(load)
+    return loads
+
+
+def render_source(cluster: "_Cluster", variant: str, fname: str,
+                  sig: str) -> str:
+    t = "float" if cluster.out_dtype.char == "f" else "double"
+    fsuf = "f" if t == "float" else ""
+    rank = len(cluster.iter_shape)
+    loads = _leaf_loads(cluster, variant, rank, t)
+    body = _render_expr(cluster.expr, loads, t, fsuf)
+    lines = [
+        "#include <math.h>",
+        "#include <stdint.h>",
+        f"/* signature: {sig} */",
+    ]
+    if variant == "flat":
+        lines += [
+            f"void {fname}(int64_t n, {t}* restrict out,",
+            "        const double* restrict consts,",
+            "        void* const* restrict ins) {",
+            "    for (int64_t j = 0; j < n; ++j) {",
+            f"        out[j] = {body};",
+            "    }",
+            "}",
+        ]
+    elif variant == "reduce":
+        init = {"sum": "0.0", "mean": "0.0",
+                "max": "-INFINITY", "min": "INFINITY"}[cluster.reduce]
+        step = {"sum": "acc += v;", "mean": "acc += v;",
+                "max": "if (v > acc) acc = v;",
+                "min": "if (v < acc) acc = v;"}[cluster.reduce]
+        final = "acc / (double)n" if cluster.reduce == "mean" else "acc"
+        lines += [
+            f"void {fname}(int64_t n, {t}* restrict out,",
+            "        const double* restrict consts,",
+            "        void* const* restrict ins) {",
+            f"    double acc = {init};",
+            "    for (int64_t j = 0; j < n; ++j) {",
+            f"        double v = (double)({body});",
+            f"        {step}",
+            "    }",
+            f"    out[0] = ({t})({final});",
+            "}",
+        ]
+    else:  # strided loop nest over the output rank
+        lines += [
+            f"void {fname}(const int64_t* restrict shape, {t}* restrict out,",
+            "        const double* restrict consts,",
+            "        void* const* restrict ins,",
+            "        const int64_t* restrict st) {",
+            "    int64_t oi = 0;",
+        ]
+        indent = "    "
+        for d in range(rank):
+            lines.append(f"{indent}for (int64_t i{d} = 0; "
+                         f"i{d} < shape[{d}]; ++i{d}) {{")
+            indent += "    "
+        lines.append(f"{indent}out[oi] = {body};")
+        lines.append(f"{indent}++oi;")
+        for d in range(rank):
+            indent = indent[:-4]
+            lines.append(indent + "}")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Compile / load / cache
+# --------------------------------------------------------------------- #
+
+def _variant_for(cluster: "_Cluster") -> str:
+    if cluster.reduce is not None:
+        return "reduce"
+    if all(l.shape == cluster.iter_shape and l.flags["C_CONTIGUOUS"]
+           for l in cluster.leaves):
+        return "flat"
+    return "strided"
+
+
+def _load_so(so_path: Path, fname: str, variant: str) -> tuple:
+    lib = ctypes.CDLL(str(so_path))
+    fn = getattr(lib, fname)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    dp = ctypes.POINTER(ctypes.c_double)
+    vpp = ctypes.POINTER(ctypes.c_void_p)
+    if variant == "strided":
+        fn.argtypes = [i64p, ctypes.c_void_p, dp, vpp, i64p]
+    else:
+        fn.argtypes = [ctypes.c_int64, ctypes.c_void_p, dp, vpp]
+    fn.restype = None
+    return fn, lib
+
+
+def get_kernel(sig: str, cluster: "_Cluster") -> Kernel | None:
+    """Return a compiled kernel for ``sig`` (compiling or loading from
+    the host cache as needed); ``None`` means use the interpreter."""
+    if not jit_enabled():
+        return None
+    with _LOCK:
+        kernel = _kernels.get(sig)
+        if kernel is not None:
+            _stats["kernel_hits"] += 1
+            return kernel
+        if sig in _failed:
+            return None
+
+        variant = _variant_for(cluster)
+        rank = len(cluster.iter_shape)
+        key = hashlib.sha1(sig.encode()).hexdigest()[:16]
+        fname = f"repro_k_{key}"
+        cache_dir = jit_cache_dir()
+        so_path = cache_dir / f"{fname}.so"
+        try:
+            if so_path.exists():
+                fn, lib = _load_so(so_path, fname, variant)
+                _stats["kernel_loads"] += 1
+            else:
+                source = render_source(cluster, variant, fname, sig)
+                cache_dir.mkdir(parents=True, exist_ok=True)
+                c_path = cache_dir / f"{fname}.c"
+                c_path.write_text(source)
+                tmp_so = cache_dir / f"{fname}.so.tmp.{os.getpid()}"
+                cmd = [_COMPILER, "-O3", "-std=c99", "-shared", "-fPIC",
+                       "-o", str(tmp_so), str(c_path), "-lm"]
+                _stats["compiles"] += 1
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+                if proc.returncode != 0:
+                    raise RuntimeError(
+                        f"cc failed ({proc.returncode}): {proc.stderr[:500]}")
+                os.replace(tmp_so, so_path)
+                kernel_index().setdefault(key, {
+                    "signature": sig, "so": so_path.name,
+                    "variant": variant, "rank": rank,
+                })
+                fn, lib = _load_so(so_path, fname, variant)
+        except (OSError, RuntimeError, NotImplementedError,
+                AttributeError):
+            _stats["compile_failures"] += 1
+            _failed.add(sig)
+            return None
+        kernel = Kernel(fn=fn, variant=variant, rank=rank,
+                        so_path=so_path, _lib=lib)
+        _kernels[sig] = kernel
+        return kernel
+
+
+def run_kernel(kernel: Kernel, cluster: "_Cluster") -> np.ndarray:
+    n = 1
+    for s in cluster.iter_shape:
+        n *= s
+    out = np.empty(cluster.out_shape, dtype=cluster.out_dtype)
+    consts = (ctypes.c_double * max(1, len(cluster.consts)))(
+        *cluster.consts)
+    leaves = cluster.leaves
+    ins = (ctypes.c_void_p * max(1, len(leaves)))(
+        *[l.ctypes.data for l in leaves])
+    if kernel.variant == "strided":
+        rank = kernel.rank
+        shape_arr = (ctypes.c_int64 * max(1, rank))(*cluster.iter_shape)
+        strides: list[int] = []
+        for l in leaves:
+            bcast = np.broadcast_to(l, cluster.iter_shape)
+            strides.extend(s // l.itemsize for s in bcast.strides)
+        st_arr = (ctypes.c_int64 * max(1, len(strides)))(*strides)
+        kernel.fn(shape_arr, out.ctypes.data, consts, ins, st_arr)
+    else:
+        kernel.fn(n, out.ctypes.data, consts, ins)
+    return out

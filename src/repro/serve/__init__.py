@@ -45,6 +45,7 @@ from .fleet import FleetConfig, FleetStats, Shard, ShardedFleet
 from .hashring import HashRing
 from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
 from .server import PredictionServer, ServerConfig, ServerStats
+from .spill_ledger import SpillLedger
 from .tiling import (
     TilePlan, plan_tiles, receptive_halo, tiled_forward, tiled_predict,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "EXECUTOR_KINDS", "Executor", "SerialExecutor", "ThreadExecutor",
     "ProcessExecutor", "default_workers", "make_executor",
     "FleetConfig", "FleetStats", "Shard", "ShardedFleet", "HashRing",
+    "SpillLedger",
     "ModelEntry", "ModelRegistry", "RegistryError", "state_version",
     "PredictionServer", "ServerConfig", "ServerStats",
     "TilePlan", "plan_tiles", "receptive_halo", "tiled_forward",

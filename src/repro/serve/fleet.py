@@ -88,6 +88,11 @@ class FleetConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     # (message_bytes, world_size) -> seconds; None counts bytes only.
     time_model: Callable[[int, int], float] | None = None
+    # True: all shards spill into ONE directory under one byte budget,
+    # coordinated by the cross-process spill ledger (entries deduplicate
+    # across replicas).  False: each shard owns a private subdirectory
+    # with an independent budget.
+    shared_spill: bool = False
 
 
 class Shard:
@@ -220,11 +225,16 @@ class ShardedFleet:
             shard_id = f"shard-{i:02d}"
             cfg = self.config.server
             if cfg.cache_dir is not None:
-                # Each simulated host owns its spill directory: budgets
-                # and LRU accounting are per-instance (ROADMAP "shared
-                # spill ledger" is the cross-host follow-up).
-                cfg = replace(cfg, cache_dir=str(Path(cfg.cache_dir)
-                                                 / shard_id))
+                if self.config.shared_spill:
+                    # One directory, one budget: every shard spills into
+                    # the same tier, coordinated by the spill ledger.
+                    # Replicas of one model share a single npz on disk.
+                    cfg = replace(cfg, shared_spill=True)
+                else:
+                    # Each simulated host owns its spill directory:
+                    # budgets and LRU accounting are per-instance.
+                    cfg = replace(cfg, cache_dir=str(Path(cfg.cache_dir)
+                                                     / shard_id))
             shard = Shard(shard_id, PredictionServer(ModelRegistry(), cfg))
             self.shards.append(shard)
             self._by_id[shard_id] = shard

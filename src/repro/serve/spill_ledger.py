@@ -1,0 +1,175 @@
+"""Shared spill ledger: one disk-byte budget across cache instances.
+
+Each :class:`~repro.serve.cache.LRUCache` enforces its spill budget from
+its own in-memory books, which is correct only while it is the *sole*
+writer of its spill directory.  A sharded fleet colocating several
+shards on one host (or several processes serving one model) wants the
+opposite: one directory, one budget, deduplicated entries — two shards
+caching the same ``(version, ω)`` key write the same file name, so a
+shared directory stores the field once instead of R times.
+
+The ledger makes that safe.  All instances sharing a ``spill_dir``
+coordinate through two files inside it:
+
+* ``.spill.lock`` — an ``fcntl.flock`` advisory lock serializing every
+  ledger transaction across processes (plus a thread lock within one).
+* ``.spill_ledger.json`` — the authoritative accounting: per file name
+  its byte size and a logical-clock stamp (monotone counter, not wall
+  time), least-stamp == least-recently-used.
+
+Every use (write or read-touch) is one locked transaction: load the
+ledger, upsert the entry with a fresh stamp, evict least-recently-used
+files while the total exceeds the budget — *deleting the files* — and
+publish the updated ledger atomically.  Evictions are returned to the
+caller so its in-memory accounting can follow, including files some
+other instance wrote.  A missing or torn ledger is rebuilt from a
+directory scan in mtime order, so the recency ranking degrades
+gracefully rather than resetting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+try:  # pragma: no cover - exercised only on non-posix hosts
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+__all__ = ["SpillLedger", "LEDGER_NAME", "LOCK_NAME"]
+
+LOCK_NAME = ".spill.lock"
+LEDGER_NAME = ".spill_ledger.json"
+_VERSION = 1
+
+
+class SpillLedger:
+    """Cross-process LRU byte budget for one shared spill directory.
+
+    ``record_use(name, size)`` is the whole write API: both a fresh spill
+    write and a read that touches an existing file refresh the entry's
+    recency and trigger eviction of whatever least-recently-used files
+    push the directory over ``max_bytes``.  ``remove`` deregisters a file
+    the caller deleted itself (version pruning, torn-file cleanup).
+    """
+
+    def __init__(self, spill_dir: str | os.PathLike, max_bytes: int) -> None:
+        self.dir = Path(spill_dir)
+        self.max_bytes = int(max_bytes)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._lock_path = self.dir / LOCK_NAME
+        self._ledger_path = self.dir / LEDGER_NAME
+        self._tlock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Locked transactions
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _locked(self):
+        """Exclusive cross-process + cross-thread critical section."""
+        with self._tlock:
+            fh = open(self._lock_path, "a+b")
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                fh.close()
+
+    def _load(self) -> dict:
+        """Read the ledger (lock held); rebuild from a scan if unusable."""
+        try:
+            with open(self._ledger_path, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+            if (isinstance(state, dict) and state.get("version") == _VERSION
+                    and isinstance(state.get("files"), dict)):
+                return state
+        except (OSError, ValueError):
+            pass
+        # Fresh or torn ledger: rebuild from the directory, stamping in
+        # mtime order so pre-ledger recency carries over.
+        files: dict[str, list[int]] = {}
+        clock = 0
+        for path in sorted(self.dir.glob("*.npz"),
+                           key=lambda p: p.stat().st_mtime):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            clock += 1
+            files[path.name] = [int(st.st_size), clock]
+        return {"version": _VERSION, "clock": clock, "files": files}
+
+    def _save(self, state: dict) -> None:
+        tmp = self._ledger_path.with_suffix(f".{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh)
+        os.replace(tmp, self._ledger_path)
+
+    def _evict(self, state: dict) -> list[tuple[str, int]]:
+        """Delete least-recently-used files over budget (lock held)."""
+        files = state["files"]
+        evicted: list[tuple[str, int]] = []
+        while sum(size for size, _ in files.values()) > self.max_bytes:
+            name = min(files, key=lambda n: files[n][1])
+            size, _ = files.pop(name)
+            (self.dir / name).unlink(missing_ok=True)
+            evicted.append((name, size))
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def record_use(self, name: str,
+                   size: int) -> tuple[list[tuple[str, int]], int]:
+        """Register a write or touch of ``name`` (``size`` bytes).
+
+        Returns ``(evicted, total)``: the ``(name, bytes)`` pairs this
+        transaction deleted — possibly files written by *other*
+        instances — and the directory's post-transaction byte total.
+        """
+        with self._locked():
+            state = self._load()
+            state["clock"] += 1
+            state["files"][name] = [int(size), state["clock"]]
+            evicted = self._evict(state)
+            total = sum(s for s, _ in state["files"].values())
+            self._save(state)
+        return evicted, total
+
+    def remove(self, name: str) -> int:
+        """Deregister a file the caller deleted; returns the new total."""
+        with self._locked():
+            state = self._load()
+            state["files"].pop(name, None)
+            total = sum(s for s, _ in state["files"].values())
+            self._save(state)
+        return total
+
+    def ensure_budget(self) -> tuple[list[tuple[str, int]], int]:
+        """Reconcile and enforce without registering a use.
+
+        Called at instance start-up: adopts files the scan-rebuilt (or
+        inherited) ledger knows about and evicts anything over budget.
+        """
+        with self._locked():
+            state = self._load()
+            evicted = self._evict(state)
+            total = sum(s for s, _ in state["files"].values())
+            self._save(state)
+        return evicted, total
+
+    def total_bytes(self) -> int:
+        with self._locked():
+            return sum(s for s, _ in self._load()["files"].values())
+
+    def snapshot(self) -> dict[str, int]:
+        """Name -> bytes view of the ledger (diagnostics/tests)."""
+        with self._locked():
+            return {n: s for n, (s, _) in self._load()["files"].items()}

@@ -1,0 +1,127 @@
+"""Output-scatter conv-transpose plan vs the composed reference path.
+
+The scatter engine must be numerically interchangeable with the original
+composition (zero-stuff, pad, flip, stride-1 conv) for every supported
+(stride, padding, output_padding) combination, in forward and in every
+gradient — that is what lets it be the default.  Also pinned: the plan
+memoizes, the 'tap' path is chosen above the patch ceiling, and both
+paths survive gradcheck.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv_transpose_nd, gradcheck
+from repro.backend.conv_plan import (
+    ConvTransposePlan, IM2COL_MAX_PATCH_BYTES, clear_plan_cache,
+    get_conv_transpose_mode, plan_conv_transpose, set_conv_transpose_mode,
+)
+
+
+@pytest.fixture(autouse=True)
+def _scatter_after():
+    yield
+    set_conv_transpose_mode("scatter")
+
+
+def _both_modes(x, w, b, st, p, op):
+    results = {}
+    for mode in ("scatter", "compose"):
+        set_conv_transpose_mode(mode)
+        xt = Tensor(x.copy(), requires_grad=True)
+        wt = Tensor(w.copy(), requires_grad=True)
+        bt = Tensor(b.copy(), requires_grad=True) if b is not None else None
+        y = conv_transpose_nd(xt, wt, bt, stride=st, padding=p,
+                              output_padding=op)
+        (y * y).sum().backward()
+        results[mode] = (y.numpy(), xt.grad.copy(), wt.grad.copy(),
+                         bt.grad.copy() if bt is not None else None)
+    return results
+
+
+CASES = [
+    # (nd, N, Cin, Cout, S, k, stride, padding, output_padding, bias)
+    (1, 2, 3, 4, 9, 3, 2, 1, 1, True),
+    (1, 1, 2, 2, 7, 4, 3, 2, 0, False),
+    (2, 2, 3, 2, 6, 3, 2, 1, 1, True),
+    (2, 1, 2, 3, 5, 2, 2, 0, 0, True),
+    (2, 2, 2, 2, 5, 3, 1, 1, 0, False),
+    (3, 1, 2, 2, 4, 2, 2, 0, 1, True),
+    (3, 2, 1, 2, 3, 3, 1, 1, 0, True),
+]
+
+
+class TestScatterParity:
+    @pytest.mark.parametrize("nd,N,ci,co,S,k,st,p,op,bias", CASES)
+    def test_matches_composed_path(self, nd, N, ci, co, S, k, st, p, op,
+                                   bias):
+        rng = np.random.default_rng(nd * 100 + st * 10 + p)
+        x = rng.standard_normal((N, ci) + (S,) * nd)
+        w = rng.standard_normal((ci, co) + (k,) * nd)
+        b = rng.standard_normal(co) if bias else None
+        res = _both_modes(x, w, b, st, p, op)
+        for name, s_val, c_val in zip(("y", "dx", "dw", "db"),
+                                      res["scatter"], res["compose"]):
+            if s_val is None:
+                continue
+            assert s_val.shape == c_val.shape, name
+            np.testing.assert_allclose(s_val, c_val, atol=1e-10, rtol=1e-10,
+                                       err_msg=name)
+
+    def test_tap_path_matches_gemm_path(self, monkeypatch):
+        # Force the thin per-tap engine by shrinking the patch ceiling.
+        import repro.backend.conv_plan as cp
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        clear_plan_cache()
+        gemm = _both_modes(x, w, None, 2, 1, 1)["scatter"]
+        monkeypatch.setattr(cp, "IM2COL_MAX_PATCH_BYTES", 1)
+        clear_plan_cache()
+        plan = plan_conv_transpose(x.shape, w.shape, (2, 2), (1, 1), (1, 1),
+                                   x.dtype)
+        assert plan.path == "tap"
+        tap = _both_modes(x, w, None, 2, 1, 1)["scatter"]
+        clear_plan_cache()
+        for g, t in zip(gemm[:3], tap[:3]):
+            np.testing.assert_allclose(g, t, atol=1e-10, rtol=1e-10)
+
+
+class TestScatterGradcheck:
+    def test_gradcheck_strided_padded(self):
+        set_conv_transpose_mode("scatter")
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 3, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        gradcheck(lambda x, w, b: conv_transpose_nd(
+            x, w, b, stride=2, padding=1, output_padding=1), (x, w, b))
+
+    def test_gradcheck_3d(self):
+        set_conv_transpose_mode("scatter")
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((1, 2, 3, 3, 3)), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, 2, 2, 2, 2)), requires_grad=True)
+        gradcheck(lambda x, w: conv_transpose_nd(x, w, stride=2), (x, w))
+
+
+class TestPlanning:
+    def test_plan_memoized(self):
+        clear_plan_cache()
+        p1 = plan_conv_transpose((1, 2, 8, 8), (2, 3, 3, 3), (2, 2), (1, 1),
+                                 (0, 0), np.float64)
+        p2 = plan_conv_transpose((1, 2, 8, 8), (2, 3, 3, 3), (2, 2), (1, 1),
+                                 (0, 0), np.float64)
+        assert p1 is p2
+        assert isinstance(p1, ConvTransposePlan)
+        assert p1.path == "gemm"
+        assert p1.reason
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            set_conv_transpose_mode("bogus")
+        assert get_conv_transpose_mode() in ("scatter", "compose")
+
+    def test_env_default_is_scatter(self):
+        assert get_conv_transpose_mode() == "scatter"

@@ -1,0 +1,179 @@
+"""Shared spill ledger: one disk budget across cache instances/processes.
+
+Contracts pinned here:
+
+* **Shared budget** — N caches spilling into one directory never hold
+  more than ``spill_max_bytes`` on disk combined; LRU order decides the
+  victims regardless of which instance wrote them.
+* **Cross-process** — a cache in a child process joins the same ledger,
+  sees the parent's files, and its writes evict them under one budget.
+* **Dedup** — two instances caching the same key share one npz file.
+* **Fleet integration** — ``FleetConfig(shared_spill=True)`` spills all
+  shards into one flat directory (no per-shard subdirs) under one budget.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import FleetConfig, LRUCache, ServerConfig, ShardedFleet
+from repro.serve.spill_ledger import LEDGER_NAME, SpillLedger
+
+VALUE = np.arange(256, dtype=np.float64)     # ~2.3 KiB as npz
+NPZ_BYTES = 2312                             # measured; tests only need scale
+BUDGET = 5 * NPZ_BYTES + 200                 # fits ~5 entries
+
+
+def _mk(tmp_path, **kw):
+    kw.setdefault("max_bytes", 1 << 20)
+    kw.setdefault("spill_dir", tmp_path)
+    kw.setdefault("spill_max_bytes", BUDGET)
+    kw.setdefault("shared_spill", True)
+    return LRUCache(**kw)
+
+
+def _disk_total(tmp_path) -> int:
+    return sum(os.path.getsize(f)
+               for f in glob.glob(os.path.join(str(tmp_path), "*.npz")))
+
+
+class TestSpillLedger:
+    def test_record_use_enforces_budget(self, tmp_path):
+        ledger = SpillLedger(tmp_path, max_bytes=250)
+        for i in range(4):
+            (tmp_path / f"f{i}.npz").write_bytes(b"x" * 100)
+            evicted, total = ledger.record_use(f"f{i}.npz", 100)
+        assert total <= 250
+        # f0 and f1 (least recently used) were deleted from disk.
+        names = {p.name for p in tmp_path.glob("*.npz")}
+        assert names == {"f2.npz", "f3.npz"}
+
+    def test_touch_refreshes_recency(self, tmp_path):
+        ledger = SpillLedger(tmp_path, max_bytes=250)
+        for i in range(2):
+            (tmp_path / f"f{i}.npz").write_bytes(b"x" * 100)
+            ledger.record_use(f"f{i}.npz", 100)
+        ledger.record_use("f0.npz", 100)          # touch: f1 is now LRU
+        (tmp_path / "f2.npz").write_bytes(b"x" * 100)
+        evicted, _ = ledger.record_use("f2.npz", 100)
+        assert [n for n, _ in evicted] == ["f1.npz"]
+
+    def test_remove_deregisters(self, tmp_path):
+        ledger = SpillLedger(tmp_path, max_bytes=1000)
+        (tmp_path / "f0.npz").write_bytes(b"x" * 100)
+        ledger.record_use("f0.npz", 100)
+        assert ledger.total_bytes() == 100
+        assert ledger.remove("f0.npz") == 0
+
+    def test_torn_ledger_rebuilt_from_scan(self, tmp_path):
+        (tmp_path / "old.npz").write_bytes(b"x" * 100)
+        (tmp_path / LEDGER_NAME).write_text("{not json")
+        ledger = SpillLedger(tmp_path, max_bytes=1000)
+        assert ledger.snapshot() == {"old.npz": 100}
+
+
+class TestSharedSpillCache:
+    def test_shared_budget_across_instances(self, tmp_path):
+        a, b = _mk(tmp_path), _mk(tmp_path)
+        for i in range(4):
+            a.put(("v1", "sig", i), VALUE)
+        for i in range(4, 8):
+            b.put(("v1", "sig", i), VALUE)
+        assert _disk_total(tmp_path) <= BUDGET
+        # 8 distinct writes cannot all fit: somebody evicted.
+        assert a.stats.spill_evictions + b.stats.spill_evictions > 0
+        # The most recent write always survives.
+        fresh = _mk(tmp_path)
+        assert fresh.get(("v1", "sig", 7)) is not None
+        assert fresh.stats.spill_hits == 1
+
+    def test_instances_dedup_same_key(self, tmp_path):
+        a, b = _mk(tmp_path), _mk(tmp_path)
+        a.put(("v1", "sig", 0), VALUE)
+        n0 = len(list(Path(tmp_path).glob("*.npz")))
+        b.put(("v1", "sig", 0), VALUE)
+        assert len(list(Path(tmp_path).glob("*.npz"))) == n0 == 1
+
+    def test_eviction_by_peer_reflected_on_next_use(self, tmp_path):
+        a, b = _mk(tmp_path), _mk(tmp_path)
+        for i in range(5):
+            a.put(("v1", "sig", i), VALUE)
+        # b's writes evict a's oldest files; a's books catch up on its
+        # next transaction rather than drifting forever.
+        for i in range(10, 14):
+            b.put(("v1", "sig", i), VALUE)
+        a.put(("v1", "sig", 99), VALUE)
+        assert a.stats.spill_bytes <= BUDGET
+        assert a.stats.spill_bytes == _disk_total(tmp_path)
+
+    def test_oversized_value_not_spilled(self, tmp_path):
+        cache = _mk(tmp_path, spill_max_bytes=100)
+        cache.put(("v1", "sig", 0), VALUE)       # npz > 100 bytes
+        assert _disk_total(tmp_path) == 0
+
+    def test_unshared_instances_keep_private_books(self, tmp_path):
+        cache = _mk(tmp_path, shared_spill=False)
+        cache.put(("v1", "sig", 0), VALUE)
+        assert not (tmp_path / LEDGER_NAME).exists()
+
+    def test_cross_process_budget(self, tmp_path):
+        parent = _mk(tmp_path)
+        for i in range(4):
+            parent.put(("v1", "sig", i), VALUE)
+        code = (
+            "import sys, numpy as np\n"
+            f"sys.path.insert(0, {str(Path('src').resolve())!r})\n"
+            "from repro.serve import LRUCache\n"
+            f"c = LRUCache(max_bytes=1<<20, spill_dir={str(tmp_path)!r},\n"
+            f"             spill_max_bytes={BUDGET}, shared_spill=True)\n"
+            "for i in range(100, 107):\n"
+            "    c.put(('v1', 'sig', i), np.arange(256, dtype=np.float64))\n"
+            "print(c.stats.spill_evictions)\n")
+        r = subprocess.run([sys.executable, "-c", code],
+                           capture_output=True, text=True, timeout=120)
+        assert r.returncode == 0, r.stderr
+        assert int(r.stdout.strip()) > 0          # the child evicted
+        assert _disk_total(tmp_path) <= BUDGET
+        # The child's last write is visible to the parent through disk.
+        assert parent.get(("v1", "sig", 106)) is not None
+
+
+class TestFleetSharedSpill:
+    def test_fleet_spills_into_one_directory(self, tmp_path):
+        from repro import MGDiffNet, PoissonProblem2D
+        fleet = ShardedFleet(FleetConfig(
+            shards=3, replicas=2, shared_spill=True,
+            server=ServerConfig(cache_dir=str(tmp_path),
+                                spill_max_bytes=1 << 20, cache_bytes=0)))
+        try:
+            model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0)
+            fleet.register_model("m", model, PoissonProblem2D(16))
+            om = np.linspace(0.2, 0.8, 4)
+            u1 = fleet.predict("m", om)
+            u2 = fleet.predict("m", om)     # second hit comes from spill
+            np.testing.assert_array_equal(u1, u2)
+        finally:
+            fleet.close()
+        # Flat shared directory: entries deduplicate across replicas.
+        assert not [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(list(tmp_path.glob("*.npz"))) >= 1
+        assert (tmp_path / LEDGER_NAME).exists()
+
+    def test_fleet_private_dirs_without_flag(self, tmp_path):
+        from repro import MGDiffNet, PoissonProblem2D
+        fleet = ShardedFleet(FleetConfig(
+            shards=2, replicas=2,
+            server=ServerConfig(cache_dir=str(tmp_path), cache_bytes=0)))
+        try:
+            model = MGDiffNet(ndim=2, base_filters=4, depth=1, rng=0)
+            fleet.register_model("m", model, PoissonProblem2D(16))
+            fleet.predict("m", np.linspace(0.2, 0.8, 4))
+        finally:
+            fleet.close()
+        subdirs = sorted(p.name for p in tmp_path.iterdir() if p.is_dir())
+        assert subdirs == ["shard-00", "shard-01"]
