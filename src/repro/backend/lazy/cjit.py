@@ -43,6 +43,11 @@ __all__ = ["jit_enabled", "get_kernel", "run_kernel", "jit_stats",
            "reset_jit_stats", "jit_cache_dir", "kernel_index"]
 
 
+# Bumped whenever render_source changes the emitted C for an unchanged
+# cluster signature, so stale cached .so files are not reused.
+# v2: NaN-propagating max/min reduction steps.
+_RENDER_VERSION = 2
+
 _LOCK = threading.RLock()
 _kernels: dict[str, "Kernel"] = {}
 _failed: set[str] = set()
@@ -203,9 +208,12 @@ def render_source(cluster: "_Cluster", variant: str, fname: str,
     elif variant == "reduce":
         init = {"sum": "0.0", "mean": "0.0",
                 "max": "-INFINITY", "min": "INFINITY"}[cluster.reduce]
+        # max/min must propagate NaN like np.max/np.min (and the
+        # interpreter fallback): v != v catches NaN, and once acc is NaN
+        # no further comparison succeeds, so it sticks.
         step = {"sum": "acc += v;", "mean": "acc += v;",
-                "max": "if (v > acc) acc = v;",
-                "min": "if (v < acc) acc = v;"}[cluster.reduce]
+                "max": "if (v > acc || v != v) acc = v;",
+                "min": "if (v < acc || v != v) acc = v;"}[cluster.reduce]
         final = "acc / (double)n" if cluster.reduce == "mean" else "acc"
         lines += [
             f"void {fname}(int64_t n, {t}* restrict out,",
@@ -283,7 +291,8 @@ def get_kernel(sig: str, cluster: "_Cluster") -> Kernel | None:
 
         variant = _variant_for(cluster)
         rank = len(cluster.iter_shape)
-        key = hashlib.sha1(sig.encode()).hexdigest()[:16]
+        key = hashlib.sha1(
+            f"v{_RENDER_VERSION}|{sig}".encode()).hexdigest()[:16]
         fname = f"repro_k_{key}"
         cache_dir = jit_cache_dir()
         so_path = cache_dir / f"{fname}.so"

@@ -23,6 +23,16 @@ Two rules keep mutation semantics eager-equivalent:
 The per-thread registry of pending nodes holds weak references only:
 dropping the last strong reference to an unrealized node simply discards
 the computation, exactly like dropping an unread eager temporary.
+
+**Threading constraint (hard).** The pending registry — and therefore
+the mutation barrier — is per-thread.  A buffer mutated on thread A
+while thread B still holds un-realized nodes reading that buffer is NOT
+flushed by A's barrier, and B's later realization would observe
+post-mutation values.  Do not share a buffer across threads while any
+thread holds pending consumers of it: ``realize()``/``realize_all()``
+on the recording thread before handing a value to another thread.  The
+repo's own hot paths obey this — serve workers realize at the forward
+boundary and never exchange pending nodes.
 """
 
 from __future__ import annotations
@@ -68,7 +78,12 @@ def _register_pending(node: "LazyArray") -> None:
 
 
 def realize_all() -> None:
-    """Realize every pending node recorded by this thread (a barrier)."""
+    """Realize every pending node recorded by this thread (a barrier).
+
+    Per-thread only: pending nodes recorded by *other* threads are not
+    flushed.  See the module docstring's threading constraint — buffers
+    must not be shared across threads while un-realized consumers exist.
+    """
     refs, _pending.refs = _pending.refs, []
     for ref in refs:
         node = ref()
@@ -191,8 +206,11 @@ class LazyArray:
             shape = tuple(s for i, s in enumerate(self.shape)
                           if i not in axes)
         dtype = self.dtype
-        if op == "sum" and self.dtype == np.bool_:
-            dtype = np.dtype(np.intp)
+        if op == "sum":
+            # Eager np.sum promotes bool/small-int inputs to the platform
+            # default int accumulator; recording the input dtype instead
+            # would silently overflow on downcast. Ask NumPy directly.
+            dtype = np.empty(0, dtype=self.dtype).sum().dtype
         elif op == "mean" and not np.issubdtype(self.dtype, np.floating):
             dtype = np.dtype(np.float64)
         return LazyArray.record(op, (self,), shape, dtype,

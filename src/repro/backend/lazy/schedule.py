@@ -226,8 +226,10 @@ def _interpret(cluster: _Cluster) -> np.ndarray:
     if cluster.reduce:
         fn = {"sum": np.sum, "mean": np.mean,
               "max": np.max, "min": np.min}[cluster.reduce]
-        out = fn(out, axis=cluster.axis or None,
-                 keepdims=cluster.keepdims)
+        # cluster.axis is always a concrete tuple (record time expands
+        # axis=None to every dim), so pass it through verbatim: axis=()
+        # is eagerly the identity, not a full reduction.
+        out = fn(out, axis=cluster.axis, keepdims=cluster.keepdims)
     out = np.asarray(out)
     if out.dtype != cluster.out_dtype:
         out = out.astype(cluster.out_dtype)

@@ -135,10 +135,17 @@ class LRUCache:
         # With shared_spill the budget is enforced by the cross-process
         # ledger, not these books (which then only track what *this*
         # instance has seen).  A ledger without a budget has nothing to
-        # coordinate, so it requires spill_max_bytes.
+        # coordinate, so spill_max_bytes is required: silently degrading
+        # to per-instance accounting would leave multiple writers on one
+        # directory with no coordination at all.
         self._ledger = None
-        if (shared_spill and self.spill_dir is not None
-                and self.spill_max_bytes is not None):
+        if shared_spill and self.spill_dir is not None:
+            if self.spill_max_bytes is None:
+                raise ValueError(
+                    "shared_spill=True requires spill_max_bytes: the "
+                    "cross-process ledger coordinates a byte budget, and "
+                    "without one shards would share the spill directory "
+                    "with uncoordinated per-instance accounting")
             from .spill_ledger import SpillLedger
             self._ledger = SpillLedger(self.spill_dir, self.spill_max_bytes)
         self.stats = CacheStats()

@@ -67,6 +67,50 @@ class TestEquivalence:
             lazy = float(B.exp(-B.abs(B.asarray(a))).sum())
         assert abs(eager - lazy) <= 1e-9 * abs(eager)
 
+    def test_integer_sum_promotes_like_eager(self):
+        # Regression: the recorded sum dtype once mirrored the input
+        # dtype, so an int8 sum was computed promoted and then astyped
+        # back down — silent overflow (500 -> -12).
+        with use_backend("lazy"):
+            from repro.backend import ops as B
+            for dt in (np.int8, np.int16, np.uint8, np.bool_):
+                vals = np.array([100, 100, 100, 100, 100]).astype(dt)
+                eager = vals.sum()
+                lazy = np.asarray(realize(B.asarray(vals).sum()))
+                assert lazy.dtype == eager.dtype
+                assert lazy == eager
+            f32 = np.ones(7, dtype=np.float32)
+            assert np.asarray(
+                realize(B.asarray(f32).sum())).dtype == np.float32
+
+    def test_reduce_axis_empty_tuple_is_identity(self):
+        # Regression: axis=() was collapsed to a full reduction by an
+        # `axis or None`; eager NumPy treats it as the identity.
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with use_backend("lazy"):
+            from repro.backend import ops as B
+            out = np.asarray(realize(B.asarray(a).sum(axis=())))
+        np.testing.assert_array_equal(out, np.sum(a, axis=()))
+
+    def test_reduce_max_min_propagate_nan(self):
+        # Regression: the C reduce kernels skipped NaN ('v > acc'), so
+        # fused max/min silently masked NaN whenever a compiler existed.
+        n = 1 << 14
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal(n)
+        base[n // 2] = np.nan
+        with use_backend("lazy"):
+            from repro.backend import ops as B
+            reset_lazy_stats()
+            hi = np.asarray(realize(B.abs(B.asarray(base)).max()))
+            lo = np.asarray(realize(B.abs(B.asarray(base)).min()))
+            stats = lazy_stats()
+        assert np.isnan(hi) and np.isnan(lo)
+        if jit_enabled():
+            # NaN must survive the compiled path, not just the
+            # interpreter fallback.
+            assert stats["jit_runs"] == 2
+
     def test_autograd_training_step(self):
         from repro.autograd import Tensor
 

@@ -121,6 +121,13 @@ class TestSharedSpillCache:
         cache.put(("v1", "sig", 0), VALUE)
         assert not (tmp_path / LEDGER_NAME).exists()
 
+    def test_shared_spill_requires_budget(self, tmp_path):
+        # Regression: shared_spill without spill_max_bytes once silently
+        # dropped the ledger — multiple writers on one directory with no
+        # coordination, the exact setup the ledger exists to prevent.
+        with pytest.raises(ValueError, match="spill_max_bytes"):
+            _mk(tmp_path, spill_max_bytes=None)
+
     def test_cross_process_budget(self, tmp_path):
         parent = _mk(tmp_path)
         for i in range(4):
