@@ -1,0 +1,282 @@
+"""CONTROL PLANE — read spreading and tenant isolation under load.
+
+The control plane's two SLO levers, measured end to end on a live
+fleet:
+
+* **Skew** — one replica of a 2-way replicated key is *hot* (its
+  forward is 2x slower, a la a shard sharing its host with a training
+  job).  Primary-only routing funnels every read through it; the
+  power-of-two-choices balancer reads live queue depths and diverts to
+  the cold replica.  Measured: request p99 with and without the
+  balancer over the same storm.
+* **Tenant mix** — a noisy tenant fires a burst far over its
+  token-bucket quota while a polite tenant paces itself within its
+  own.  Per-tenant buckets mean the noisy tenant's saturation lands on
+  the noisy tenant alone.  Measured: per-tenant admitted/throttled
+  counts and fleet conservation.
+
+Gates (exit nonzero on failure):
+
+* **conservation** — ``FleetStats.lost == 0`` in every mode, always;
+* **skew** — on hosts with >= 4 CPUs, balanced p99 must beat
+  primary-only p99 outright;
+* **tenant isolation** — on hosts with >= 4 CPUs, the polite tenant
+  is never throttled and every one of its requests is served, while
+  the noisy tenant is throttled.  Hosts without the cores record the
+  skip reason in the JSON instead (on a 1-core container the queueing
+  signal the balancer reads is mostly scheduler noise).
+
+``--json BENCH_control_plane.json`` is uploaded by CI's control-smoke
+job and appended to ``benchmarks/results/trajectory.jsonl``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.core.inference import predict_batch
+from repro.data.sobol import sample_omega
+from repro.serve import (
+    AdmissionController, FleetConfig, PowerOfTwoBalancer, ServerConfig,
+    ShardedFleet, TenantQuota, TenantThrottled,
+)
+from repro.serve.executor import default_workers
+
+try:
+    from .common import bench_cli, report, write_bench_json
+except ImportError:  # pragma: no cover - script mode
+    from common import bench_cli, report, write_bench_json
+
+RESOLUTION = 16
+BASE_FILTERS = 4
+DEPTH = 1
+SEED = 20260808
+TOL = 1e-5
+MIN_CPUS = 4          # below this the gates record a skip, not a verdict
+
+# Skew experiment: service times 2:1 (hot primary vs cold replica).
+N_READS = 80
+HOT_DELAY_S = 0.004
+COLD_DELAY_S = 0.002
+
+# Tenant experiment: one bucket per tenant, 40/s with a 20-deep burst.
+TENANT_RATE = 40.0
+TENANT_BURST = 20.0
+NOISY_BURST = 120     # fired flat-out: ~rate-limited hard
+POLITE_COUNT = 20
+POLITE_SPACING_S = 1.0 / (TENANT_RATE * 0.5)   # half the quota rate
+
+
+def _make_fleet() -> tuple[ShardedFleet, MGDiffNet, PoissonProblem2D]:
+    problem = PoissonProblem2D(RESOLUTION)
+    model = MGDiffNet(ndim=2, base_filters=BASE_FILTERS, depth=DEPTH,
+                      rng=42)
+    fleet = ShardedFleet(FleetConfig(
+        shards=2, replicas=2,
+        server=ServerConfig(max_batch=8, max_wait_ms=0.5, workers=1,
+                            cache_bytes=0)))
+    fleet.register_model("m", model, problem)
+    return fleet, model, problem
+
+
+def _slow(server, delay_s: float) -> None:
+    forward = server._forward
+
+    def delayed(entry, omegas, resolution):
+        time.sleep(delay_s)
+        return forward(entry, omegas, resolution)
+
+    server._forward = delayed
+
+
+def _measure_skew(balanced: bool, n_reads: int) -> dict:
+    """One storm against a hot-primary fleet; p99 with/without p2c."""
+    fleet, model, problem = _make_fleet()
+    primary_id, replica_id = fleet.replicas_for("m")
+    by_id = {s.id: s for s in fleet.shards}
+    _slow(by_id[primary_id].server, HOT_DELAY_S)
+    _slow(by_id[replica_id].server, COLD_DELAY_S)
+    if balanced:
+        fleet.balancer = PowerOfTwoBalancer(seed=SEED)
+    omegas = sample_omega(n_reads, 4)
+    with fleet:
+        fleet.predict("m", omegas[0], timeout=60)      # warm both paths
+        t0 = time.perf_counter()
+        futures = [fleet.submit("m", w) for w in omegas]
+        fields = [f.result(timeout=120) for f in futures]
+        wall = time.perf_counter() - t0
+        ref = predict_batch(model, problem, omegas[-1])[0]
+        divergence = float(np.abs(fields[-1] - ref).max())
+    s = fleet.stats
+    return {"mode": "p2c" if balanced else "primary-only",
+            "wall_s": wall, "qps": n_reads / wall,
+            "p50_ms": s.p50 * 1e3, "p99_ms": s.p99 * 1e3,
+            "spreads": s.spreads, "divergence": divergence,
+            "lost": s.lost}
+
+
+def _measure_tenants(noisy_burst: int, polite_count: int) -> dict:
+    """Noisy tenant saturates its bucket; polite tenant paces within."""
+    fleet, model, problem = _make_fleet()
+    fleet.admission = AdmissionController(
+        TenantQuota(rate=TENANT_RATE, burst=TENANT_BURST))
+    omegas = sample_omega(noisy_burst + polite_count, 4)
+    noisy_throttled = 0
+    futures = []
+    with fleet:
+        for w in omegas[:noisy_burst]:                 # flat-out burst
+            try:
+                futures.append(fleet.submit("m", w, tenant="noisy"))
+            except TenantThrottled:
+                noisy_throttled += 1
+        polite_throttled = 0
+        for w in omegas[noisy_burst:]:                 # paced inside quota
+            try:
+                futures.append(fleet.submit("m", w, tenant="polite"))
+            except TenantThrottled:
+                polite_throttled += 1
+            time.sleep(POLITE_SPACING_S)
+        for f in futures:
+            f.result(timeout=120)
+    tenants = fleet.admission.snapshot()
+    s = fleet.stats
+    return {"noisy_submitted": noisy_burst,
+            "noisy_admitted": tenants["noisy"]["admitted"],
+            "noisy_throttled": noisy_throttled,
+            "polite_submitted": polite_count,
+            "polite_admitted": tenants["polite"]["admitted"],
+            "polite_throttled": polite_throttled,
+            "served": s.served, "throttled": s.throttled,
+            "lost": s.lost}
+
+
+def _run(n_reads: int = N_READS, noisy_burst: int = NOISY_BURST,
+         polite_count: int = POLITE_COUNT) -> dict:
+    skew = [_measure_skew(balanced=False, n_reads=n_reads),
+            _measure_skew(balanced=True, n_reads=n_reads)]
+    tenants = _measure_tenants(noisy_burst, polite_count)
+    return {"resolution": RESOLUTION, "base_filters": BASE_FILTERS,
+            "depth": DEPTH, "n_reads": n_reads,
+            "hot_delay_s": HOT_DELAY_S, "cold_delay_s": COLD_DELAY_S,
+            "tenant_rate": TENANT_RATE, "tenant_burst": TENANT_BURST,
+            "cpus": default_workers(), "skew": skew, "tenants": tenants}
+
+
+def _report(result: dict) -> None:
+    report("control_plane: 2:1 hot-replica skew",
+           ["mode", "qps", "p50_ms", "p99_ms", "spreads", "divergence"],
+           [[r["mode"], round(r["qps"], 1), round(r["p50_ms"], 2),
+             round(r["p99_ms"], 2), r["spreads"],
+             f"{r['divergence']:.1e}"] for r in result["skew"]])
+    t = result["tenants"]
+    report("control_plane: tenant mix",
+           ["tenant", "submitted", "admitted", "throttled"],
+           [["noisy", t["noisy_submitted"], t["noisy_admitted"],
+             t["noisy_throttled"]],
+            ["polite", t["polite_submitted"], t["polite_admitted"],
+             t["polite_throttled"]]])
+
+
+def _gate(result: dict) -> int:
+    """Conservation and exactness always; SLO gates when cores allow."""
+    status = 0
+    for row in result["skew"]:
+        if row["divergence"] > TOL:
+            print(f"FAIL: {row['mode']} answer diverges from "
+                  f"predict_batch by {row['divergence']:.2e} > {TOL}")
+            status = 1
+        if row["lost"] != 0:
+            print(f"FAIL: {row['mode']} fleet lost {row['lost']} "
+                  f"requests (conservation violated)")
+            status = 1
+    if result["tenants"]["lost"] != 0:
+        print(f"FAIL: tenant-mix fleet lost {result['tenants']['lost']} "
+              f"requests (conservation violated)")
+        status = 1
+
+    primary, p2c = result["skew"]
+    cpus = result["cpus"]
+    if cpus >= MIN_CPUS:
+        result["skew_gate"] = "enforced"
+        if p2c["p99_ms"] >= primary["p99_ms"]:
+            print(f"FAIL: p2c p99 {p2c['p99_ms']:.2f} ms does not beat "
+                  f"primary-only p99 {primary['p99_ms']:.2f} ms under "
+                  f"2:1 replica skew")
+            status = 1
+        else:
+            print(f"skew gate ok: p2c p99 {p2c['p99_ms']:.2f} ms < "
+                  f"primary-only {primary['p99_ms']:.2f} ms")
+    else:
+        result["skew_gate"] = (
+            f"skipped: host has {cpus} CPU(s) < {MIN_CPUS}")
+        print(f"skew gate skipped ({cpus} CPU(s) available); measured "
+              f"p2c p99 {p2c['p99_ms']:.2f} ms vs primary-only "
+              f"{primary['p99_ms']:.2f} ms")
+
+    t = result["tenants"]
+    if cpus >= MIN_CPUS:
+        result["tenant_gate"] = "enforced"
+        if t["polite_throttled"] != 0 \
+                or t["polite_admitted"] != t["polite_submitted"]:
+            print(f"FAIL: polite tenant throttled "
+                  f"{t['polite_throttled']} of {t['polite_submitted']} "
+                  f"paced requests — noisy tenant leaked into its quota")
+            status = 1
+        elif t["noisy_throttled"] == 0:
+            print("FAIL: noisy burst was never throttled — the bucket "
+                  "is not limiting anything")
+            status = 1
+        else:
+            print(f"tenant gate ok: noisy throttled "
+                  f"{t['noisy_throttled']}/{t['noisy_submitted']}, "
+                  f"polite 0/{t['polite_submitted']}")
+    else:
+        result["tenant_gate"] = (
+            f"skipped: host has {cpus} CPU(s) < {MIN_CPUS}")
+        print(f"tenant gate skipped ({cpus} CPU(s) available); noisy "
+              f"throttled {t['noisy_throttled']}/{t['noisy_submitted']}, "
+              f"polite {t['polite_throttled']}/{t['polite_submitted']}")
+    return status
+
+
+def test_control_plane(benchmark):
+    # Downscaled for wall time: the shape under test is conservation,
+    # exactness and per-tenant bucket isolation; the p99 comparison is
+    # gated at full size in __main__ (CI control-smoke job).
+    result = benchmark.pedantic(
+        lambda: _run(n_reads=24, noisy_burst=40, polite_count=5),
+        rounds=1, iterations=1)
+    _report(result)
+    for row in result["skew"]:
+        assert row["divergence"] <= TOL
+        assert row["lost"] == 0
+        assert row["qps"] > 0
+    assert result["skew"][1]["spreads"] > 0
+    t = result["tenants"]
+    assert t["lost"] == 0
+    assert t["polite_throttled"] == 0
+    assert t["noisy_throttled"] > 0
+    assert t["served"] == t["noisy_admitted"] + t["polite_admitted"]
+
+
+if __name__ == "__main__":
+    def extra(p):
+        p.add_argument("--reads", type=int, default=N_READS)
+        p.add_argument("--noisy-burst", type=int, default=NOISY_BURST)
+        p.add_argument("--polite-count", type=int, default=POLITE_COUNT)
+        p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write a JSON artifact (used by CI)")
+
+    args = bench_cli("bench_control_plane", extra_args=extra)
+    result = _run(args.reads, args.noisy_burst, args.polite_count)
+    _report(result)
+    status = _gate(result)
+    if args.json:
+        write_bench_json(args.json, "control_plane", result,
+                         gate="pass" if status == 0 else "fail")
+        print(f"wrote {args.json}")
+    sys.exit(status)

@@ -1,0 +1,167 @@
+"""Control plane: self-healing, read spreading, tenant quotas, autoscale.
+
+Walks the SLO loops the way an operator would watch them — except
+nobody operates anything; the :class:`~repro.serve.ControlPlane` does:
+
+1. **Bring-up** — a sharded fleet plus a control plane: background
+   health probes with exponential backoff, power-of-two-choices read
+   spreading, per-tenant token buckets, and a queue-depth autoscaler.
+2. **Kill a shard, watch it heal** — a shard dies mid-run.  The fleet
+   ejects it on the first fault; the prober backs off, declares it
+   permanently lost, decommissions it and re-replicates its models
+   onto the survivors.  Zero operator calls, zero requests lost.
+3. **Saturate one tenant** — a noisy tenant fires a burst far over its
+   bucket while a polite tenant paces within its own.  The noisy
+   tenant eats keyed ``TenantThrottled`` errors (with ``retry_after_s``
+   to honor); the polite tenant never sees one.
+4. **Load step** — a backlog spike trips the autoscaler's up-streak; a
+   new shard joins the ring (minimal key movement), and once the queue
+   drains the fleet scales back down to the floor.
+
+Usage::
+
+    python examples/serving_control.py [--shards 3] [--replicas 2]
+    python examples/serving_control.py --requests 96
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import MGDiffNet, PoissonProblem2D
+from repro.data.sobol import sample_omega
+from repro.serve import (
+    ControlConfig, ControlPlane, FleetConfig, ServerConfig, ShardedFleet,
+    TenantThrottled,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--resolution", type=int, default=16)
+    args = parser.parse_args()
+
+    # ---------------------------------------------------------------- #
+    # 1. Bring-up: fleet + control plane
+    # ---------------------------------------------------------------- #
+    problem = PoissonProblem2D(args.resolution)
+    model = MGDiffNet(ndim=2, base_filters=8, depth=2, rng=42)
+    fleet = ShardedFleet(FleetConfig(
+        shards=args.shards, replicas=args.replicas, shard_timeout_s=0.5,
+        server=ServerConfig(max_batch=8, max_wait_ms=1.0, cache_bytes=0)))
+    names = [f"model-{i}" for i in range(4)]
+    for name in names:
+        fleet.register_model(name, model, problem)
+
+    plane = ControlPlane(fleet, ControlConfig(
+        probe_base_backoff_s=0.05, probe_max_backoff_s=0.5,
+        probe_timeout_s=0.5, permanent_after=6,     # dead for good -> gone
+        tenant_rate=40.0, tenant_burst=20.0,        # 40 req/s per tenant
+        autoscale=True, autoscale_min=args.shards,
+        autoscale_max=args.shards + 2,
+        scale_up_depth=4.0, scale_down_depth=0.5,
+        tick_interval_s=0.02))
+    print(f"fleet: {args.shards} shards x {args.replicas} replicas; "
+          f"plane: {plane!r}")
+
+    omegas = sample_omega(args.requests, 4)
+
+    with fleet, plane:
+        # ------------------------------------------------------------ #
+        # 2. Kill a shard, watch the plane heal the fleet
+        # ------------------------------------------------------------ #
+        victim = fleet.shards[0]
+        print(f"\n-- killing {victim.id} (it will never come back)")
+
+        def dead(*a, **k):
+            raise ConnectionError(f"{victim.id} is gone")
+
+        victim.server.submit = dead
+        victim.server._forward = dead
+
+        served = 0
+        for i, omega in enumerate(omegas):
+            u = fleet.predict(names[i % len(names)], omega, timeout=60,
+                              tenant="polite")
+            served += 1
+            time.sleep(1.0 / 40.0)      # polite: well inside the bucket
+            if victim.id not in [s.id for s in fleet.shards]:
+                break
+        deadline = time.monotonic() + 30.0
+        while (victim.id in [s.id for s in fleet.shards]
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert victim.id not in [s.id for s in fleet.shards], \
+            "prober should have decommissioned the dead shard"
+        print(f"   {victim.id} decommissioned after "
+              f"{plane.stats.probes} probes; models re-replicated "
+              f"({fleet.stats.reregistrations} re-registrations); "
+              f"{served} requests served meanwhile, "
+              f"lost={fleet.stats.lost}")
+        for name in names:
+            assert victim.id not in fleet.replicas_for(name)
+
+        # ------------------------------------------------------------ #
+        # 3. Saturate one tenant; the other's quota is untouched
+        # ------------------------------------------------------------ #
+        print("\n-- noisy tenant bursts 80 requests flat-out")
+        noisy_throttled = 0
+        futures = []
+        for omega in sample_omega(80, 4):
+            try:
+                futures.append(fleet.submit("model-0", omega,
+                                            tenant="noisy"))
+            except TenantThrottled as exc:
+                noisy_throttled += 1
+                last_retry = exc.retry_after_s
+        polite_throttled = 0
+        for omega in sample_omega(8, 4):
+            try:
+                futures.append(fleet.submit("model-1", omega,
+                                            tenant="polite"))
+            except TenantThrottled:
+                polite_throttled += 1
+            time.sleep(1.0 / 20.0)
+        for f in futures:
+            f.result(timeout=60)
+        print(f"   noisy: {noisy_throttled} throttled "
+              f"(last retry_after={last_retry:.3f}s); "
+              f"polite: {polite_throttled} throttled")
+        assert noisy_throttled > 0 and polite_throttled == 0
+
+        # ------------------------------------------------------------ #
+        # 4. Load step: autoscale up, drain, scale back down
+        # ------------------------------------------------------------ #
+        print("\n-- load step: burst of slow untagged traffic")
+        n_before = len(fleet.shards)
+        step = [fleet.submit(names[i % len(names)], omega)
+                for i, omega in enumerate(sample_omega(96, 4))]
+        deadline = time.monotonic() + 20.0
+        while (len(fleet.shards) == n_before
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        for f in step:
+            fleet.await_result(f, timeout=120)
+        print(f"   peak shards: {max(len(fleet.shards), n_before)} "
+              f"(from {n_before}); scale_ups={fleet.stats.scale_ups}, "
+              f"depth gauge now {plane.stats.last_depth:.1f}")
+        deadline = time.monotonic() + 30.0
+        while (len(fleet.shards) > n_before
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        print(f"   drained: back to {len(fleet.shards)} shards "
+              f"(scale_downs={fleet.stats.scale_downs})")
+
+    s = fleet.stats
+    print(f"\nfinal: served={s.served} throttled={s.throttled} "
+          f"lost={s.lost}")
+    print(f"plane: {plane.stats}")
+    assert s.lost == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,30 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_tile(text: str) -> "int | str":
+    """``--tile``: a core tile size, or 'autotune' for the measured
+    per-host winner."""
+    if text == "autotune":
+        return text
+    return _positive_int(text)
+
+
+def _parse_tenant_quota(text: str) -> tuple[float, float]:
+    """``--tenant-quota RATE[:BURST]`` -> (rate req/s, burst capacity);
+    burst defaults to 2x the rate."""
+    rate_text, _, burst_text = text.partition(":")
+    try:
+        rate = float(rate_text)
+        burst = float(burst_text) if burst_text else 2.0 * rate
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected RATE[:BURST], got {text!r}") from None
+    if rate <= 0 or burst < 1:
+        raise argparse.ArgumentTypeError(
+            f"need rate > 0 and burst >= 1, got rate={rate} burst={burst}")
+    return rate, burst
+
+
 def _parse_aging(text: str) -> float | None:
     """``--priority-aging``: positive rate, or 0 as a spelling of
     'strict priority' (the default)."""
@@ -99,9 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override inference resolution")
     p.add_argument("--compare-fem", action="store_true")
     p.add_argument("--output", default=None, help=".vti output path")
-    p.add_argument("--tile", type=int, default=None,
+    p.add_argument("--tile", "--tile-size", type=_parse_tile, dest="tile",
+                   default=None, metavar="N|autotune",
                    help="tiled inference with this core tile size "
-                        "(multiple of 2**depth)")
+                        "(multiple of 2**depth); 'autotune' measures "
+                        "candidates once and persists the winner per host")
     p.add_argument("--halo", type=int, default=None,
                    help="halo width for --tile (default: receptive field)")
     p.add_argument("--executor", default="serial",
@@ -128,8 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=int, default=64)
     p.add_argument("--backend", default=None,
                    help="array backend workers pin (e.g. 'threaded')")
-    p.add_argument("--tile", type=int, default=None,
-                   help="force tiled forwards with this core tile size")
+    p.add_argument("--tile", "--tile-size", type=_parse_tile, dest="tile",
+                   default=None, metavar="N|autotune",
+                   help="force tiled forwards with this core tile size "
+                        "('autotune': measured winner, persisted per host)")
     p.add_argument("--tile-threshold", type=int, default=2 ** 21,
                    help="voxel count above which forwards are tiled")
     p.add_argument("--repeat", type=int, default=1,
@@ -169,6 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="with --shards>1: eject a shard that does not "
                         "answer within this budget and fail over")
+    p.add_argument("--control", action="store_true",
+                   help="with --shards>1: run the control plane (backoff "
+                        "health probes + power-of-two-choices read "
+                        "spreading) beside the fleet")
+    p.add_argument("--autoscale-min", type=_positive_int, default=None,
+                   metavar="N",
+                   help="with --control: queue-depth autoscaling, lower "
+                        "shard bound (implies --autoscale-max)")
+    p.add_argument("--autoscale-max", type=_positive_int, default=None,
+                   metavar="N",
+                   help="with --control: autoscaling upper shard bound")
+    p.add_argument("--tenant-quota", type=_parse_tenant_quota, default=None,
+                   metavar="RATE[:BURST]",
+                   help="with --control: per-tenant token-bucket admission "
+                        "(RATE req/s sustained, BURST back-to-back; "
+                        "default burst 2*RATE)")
+    p.add_argument("--tenant", default=None,
+                   help="tenant name the synthetic request load is "
+                        "accounted to (default: unmetered)")
 
     p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
     p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
@@ -308,18 +355,24 @@ def _serve_request_loads(args, names, get_entry) -> dict[str, np.ndarray]:
     return loads
 
 
-def _submit_with_backoff(backend, name, omega, resolution):
+def _submit_with_backoff(backend, name, omega, resolution, tenant=None):
     """With --max-pending the queue sheds load; this client applies the
-    intended response — back off briefly and retry."""
+    intended response — back off briefly and retry.  A throttled tenant
+    sleeps exactly the ``retry_after_s`` its rejection names (the token
+    bucket's refill horizon) instead of polling."""
     import time
 
-    from .serve import ServerOverloaded
+    from .serve import ServerOverloaded, TenantThrottled
 
     while True:
         try:
-            return backend.submit(name, omega, resolution)
+            if tenant is None:
+                return backend.submit(name, omega, resolution)
+            return backend.submit(name, omega, resolution, tenant=tenant)
         except ServerOverloaded:
             time.sleep(0.002)
+        except TenantThrottled as exc:
+            time.sleep(min(exc.retry_after_s, 1.0))
 
 
 def _cmd_serve(args) -> int:
@@ -400,17 +453,38 @@ def _cmd_serve(args) -> int:
 
 
 def _serve_fleet(args, config) -> int:
-    """``repro serve --shards N --replicas R``: the sharded fleet path."""
+    """``repro serve --shards N --replicas R``: the sharded fleet path.
+
+    ``--control`` layers the SLO control plane on top: backoff health
+    probes, p2c read spreading, and optionally per-tenant admission
+    (``--tenant-quota``) and queue-depth autoscaling
+    (``--autoscale-min/--autoscale-max``).
+    """
+    import contextlib
     import time
 
     from .serve import (
-        DeadlineExceeded, FleetUnavailable, RegistryError, ServerOverloaded,
+        ControlConfig, ControlPlane, DeadlineExceeded, FleetUnavailable,
+        RegistryError, ServerOverloaded,
     )
     from .serve.fleet import FleetConfig, ShardedFleet
 
     fleet = ShardedFleet(FleetConfig(
         shards=args.shards, replicas=args.replicas,
         shard_timeout_s=args.shard_timeout, server=config))
+    plane = None
+    use_control = (args.control or args.autoscale_min is not None
+                   or args.tenant_quota is not None)
+    if use_control:
+        rate, burst = (args.tenant_quota if args.tenant_quota is not None
+                       else (None, None))
+        autoscale = args.autoscale_min is not None
+        plane = ControlPlane(fleet, ControlConfig(
+            tenant_rate=rate, tenant_burst=burst,
+            autoscale=autoscale,
+            autoscale_min=args.autoscale_min or 1,
+            autoscale_max=(args.autoscale_max or
+                           max(args.shards, args.autoscale_min or 1))))
     try:
         for spec in args.checkpoint:
             name, _, path = spec.rpartition("=")
@@ -426,7 +500,8 @@ def _serve_fleet(args, config) -> int:
 
     def submit(name, w):
         try:
-            return _submit_with_backoff(fleet, name, w, args.resolution)
+            return _submit_with_backoff(fleet, name, w, args.resolution,
+                                        tenant=args.tenant)
         except FleetUnavailable:
             # Every replica for this key is down *right now*; already
             # counted in stats.unavailable — shed and report below.
@@ -434,7 +509,8 @@ def _serve_fleet(args, config) -> int:
 
     t0 = time.perf_counter()
     try:
-        with fleet:
+        with fleet, (plane if plane is not None
+                     else contextlib.nullcontext()):
             for _ in range(max(1, args.repeat)):
                 futures = [(name, submit(name, w))
                            for name in names for w in loads[name]]
@@ -467,12 +543,24 @@ def _serve_fleet(args, config) -> int:
     print(f"latency p50 {s.p50 * 1e3:.2f} ms, p99 {s.p99 * 1e3:.2f} ms; "
           f"{s.batches} batches, {s.cache_hits} cache hits, "
           f"{s.dedup_hits} dedup hits, {s.tiled_forwards} tiled forwards")
-    print(f"scheduling: {s.rejected} rejections, {s.expired} expired; "
+    print(f"scheduling: {s.rejected} rejections, {s.expired} expired, "
+          f"{s.throttled} throttled; "
           f"faults: {s.shard_faults} ejections, {s.failovers} failovers, "
           f"{s.readmissions} readmissions; lost: {s.lost}")
     print(f"interconnect (simulated): {s.send_calls} hops, "
           f"{s.send_bytes >> 20} MiB, "
           f"{s.virtual_comm_seconds * 1e3:.2f} ms virtual")
+    if plane is not None:
+        cs = plane.stats
+        print(f"control plane: {cs.ticks} ticks, {cs.probes} probes "
+              f"({cs.backoffs} backed off), {cs.readmissions} readmissions, "
+              f"{cs.decommissions} decommissions "
+              f"({cs.reregistrations} re-registrations); "
+              f"spread: {cs.balance_diversions}/{cs.balance_decisions} "
+              f"reads diverted; scale: +{cs.scale_ups}/-{cs.scale_downs}")
+        for tenant, row in sorted(cs.tenants.items()):
+            print(f"  tenant {tenant}: {row['admitted']} admitted, "
+                  f"{row['throttled']} throttled")
     for sid, row in s.per_shard.items():
         state = "up" if row["healthy"] else "DOWN"
         print(f"  {sid} [{state}] requests={row['requests']} "

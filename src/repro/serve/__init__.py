@@ -15,6 +15,11 @@ FEM solve.  This package is the infrastructure realizing that claim:
 * :class:`ShardedFleet` — consistent-hash routing of registry entries
   and request load over N server shards (simulated hosts) with R-way
   replication, fault ejection + failover, and probed re-admission;
+* :class:`ControlPlane` — SLO policy loops over a live fleet:
+  backoff-scheduled self-healing probes (:class:`HealthProber`),
+  power-of-two-choices read spreading (:class:`PowerOfTwoBalancer`),
+  per-tenant token-bucket admission (:class:`AdmissionController`) and
+  queue-depth autoscaling (:class:`Autoscaler`);
 * :func:`tiled_predict` — exact full-field inference on grids too large
   for one forward pass, via ``2**depth``-aligned halo-padded tiles.
 
@@ -34,8 +39,13 @@ Quickstart::
 from .aio import AsyncPredictionServer
 from .batching import MicroBatcher, PredictRequest, RequestQueue
 from .cache import CacheStats, LRUCache, quantize_omega, result_key
+from .control import (
+    AdmissionController, Autoscaler, ControlConfig, ControlPlane,
+    ControlStats, HealthProber, PowerOfTwoBalancer, TenantQuota,
+)
 from .errors import (
     DeadlineExceeded, FleetUnavailable, ServeError, ServerOverloaded,
+    TenantThrottled,
 )
 from .executor import (
     EXECUTOR_KINDS, Executor, ProcessExecutor, SerialExecutor,
@@ -47,7 +57,8 @@ from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
 from .server import PredictionServer, ServerConfig, ServerStats
 from .spill_ledger import SpillLedger
 from .tiling import (
-    TilePlan, plan_tiles, receptive_halo, tiled_forward, tiled_predict,
+    TilePlan, autotune_tile, plan_tiles, receptive_halo, tile_candidates,
+    tiled_forward, tiled_predict,
 )
 
 __all__ = [
@@ -55,13 +66,16 @@ __all__ = [
     "MicroBatcher", "PredictRequest", "RequestQueue",
     "CacheStats", "LRUCache", "quantize_omega", "result_key",
     "ServeError", "DeadlineExceeded", "ServerOverloaded",
-    "FleetUnavailable",
+    "TenantThrottled", "FleetUnavailable",
+    "AdmissionController", "TenantQuota", "PowerOfTwoBalancer",
+    "HealthProber", "Autoscaler",
+    "ControlConfig", "ControlPlane", "ControlStats",
     "EXECUTOR_KINDS", "Executor", "SerialExecutor", "ThreadExecutor",
     "ProcessExecutor", "default_workers", "make_executor",
     "FleetConfig", "FleetStats", "Shard", "ShardedFleet", "HashRing",
     "SpillLedger",
     "ModelEntry", "ModelRegistry", "RegistryError", "state_version",
     "PredictionServer", "ServerConfig", "ServerStats",
-    "TilePlan", "plan_tiles", "receptive_halo", "tiled_forward",
-    "tiled_predict",
+    "TilePlan", "plan_tiles", "receptive_halo", "tile_candidates",
+    "autotune_tile", "tiled_forward", "tiled_predict",
 ]

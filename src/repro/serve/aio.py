@@ -93,18 +93,21 @@ class AsyncPredictionServer:
     def submit(self, model_name: str, omega: np.ndarray,
                resolution: int | None = None, *,
                priority: int | None = None,
-               deadline_s: float | None = None) -> "asyncio.Future":
+               deadline_s: float | None = None,
+               tenant: str | None = None) -> "asyncio.Future":
         """Queue one prediction; returns an awaitable of the full field.
 
         Must be called with a running event loop.  Cache hits come back
         already resolved; queue overflow (``max_pending``) raises
-        :class:`ServerOverloaded` here, synchronously, and bad requests
-        (wrong ω arity, unknown model) raise exactly as on the sync
-        path — backpressure and validation must not hide behind an
+        :class:`ServerOverloaded` here, synchronously, per-tenant quota
+        exhaustion raises :class:`TenantThrottled` likewise, and bad
+        requests (wrong ω arity, unknown model) raise exactly as on the
+        sync path — backpressure and validation must not hide behind an
         ``await``.
         """
         future = self.server.submit(model_name, omega, resolution,
-                                    priority=priority, deadline_s=deadline_s)
+                                    priority=priority, deadline_s=deadline_s,
+                                    tenant=tenant)
         wrapped = asyncio.wrap_future(future)
         hang_failover = getattr(self.server, "hang_failover", None)
         budget = getattr(getattr(self.server, "config", None),
@@ -154,20 +157,24 @@ class AsyncPredictionServer:
     async def predict(self, model_name: str, omega: np.ndarray,
                       resolution: int | None = None, *,
                       priority: int | None = None,
-                      deadline_s: float | None = None) -> np.ndarray:
+                      deadline_s: float | None = None,
+                      tenant: str | None = None) -> np.ndarray:
         """One awaited prediction (async counterpart of ``predict``)."""
         return await self.submit(model_name, omega, resolution,
-                                 priority=priority, deadline_s=deadline_s)
+                                 priority=priority, deadline_s=deadline_s,
+                                 tenant=tenant)
 
     async def predict_many(self, model_name: str, omegas: np.ndarray,
                            resolution: int | None = None, *,
                            priority: int | None = None,
-                           deadline_s: float | None = None) -> np.ndarray:
+                           deadline_s: float | None = None,
+                           tenant: str | None = None) -> np.ndarray:
         """Submit a lane of ω concurrently and gather, shape (B, *grid)."""
         omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
         fields = await asyncio.gather(*[
             self.submit(model_name, w, resolution, priority=priority,
-                        deadline_s=deadline_s) for w in omegas])
+                        deadline_s=deadline_s, tenant=tenant)
+            for w in omegas])
         return np.stack(fields)
 
     def __repr__(self) -> str:

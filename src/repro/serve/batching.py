@@ -36,6 +36,14 @@ Scheduling discipline (the seam PR 2 left open, filled here):
   one.  Low-priority wait behind a saturated high lane is thereby
   bounded by ``max_priority * aging_s`` plus one drain, instead of
   unbounded.
+* **Deadline-aware hold shrink (EDF)** — ``max_wait_ms`` trades batch
+  size for latency under the assumption that every request can afford
+  the hold.  A request whose deadline expires *inside* the hold window
+  cannot: it would be coalesced straight into ``DeadlineExceeded``.
+  ``collect`` therefore shrinks the hold to the earliest ``expires_at``
+  among the batch's members — earliest-deadline-first applied to the
+  coalescing window — so a tight-deadline request dispatches as soon as
+  its slack runs out while relaxed traffic still enjoys the full wait.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ class PredictRequest:
     priority: int = 0         # higher dequeues first under saturation
     deadline_s: float | None = None   # latency budget granted at submit
     expires_at: float | None = None   # absolute perf_counter expiry
+    tenant: str | None = None         # admission-control accounting key
 
     def group_key(self) -> tuple:
         """Requests sharing this key may run in one fused forward."""
@@ -168,6 +177,11 @@ class MicroBatcher:
         returned batch contains only live requests.  Returns ``[]`` only
         when ``stop`` is set and the queue is empty — the worker's signal
         to exit.
+
+        The hold window is deadline-aware: a member whose ``expires_at``
+        falls before the ``max_wait_ms`` deadline shrinks the hold to
+        that expiry (EDF on the coalescing window), so holding for
+        companions can never itself expire a request already drained.
         """
         batch: list[PredictRequest] = []
         while not batch:
@@ -179,6 +193,10 @@ class MicroBatcher:
                     return []
         deadline = time.perf_counter() + self.max_wait_ms / 1e3
         while len(batch) < self.max_batch:
+            if batch[-1].expires_at is not None:
+                # The member drained last is the only one not yet
+                # folded into the hold deadline.
+                deadline = min(deadline, batch[-1].expires_at)
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
                 # Deadline passed: take whatever is already queued, but

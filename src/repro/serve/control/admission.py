@@ -1,0 +1,125 @@
+"""Per-tenant admission control: token buckets above backpressure.
+
+``max_pending`` protects the *server* — it bounds total queued work but
+is blind to who queued it, so one greedy tenant can fill the queue and
+starve everyone into ``ServerOverloaded``.  Admission control protects
+the *tenants from each other*: each tenant owns a token bucket refilled
+at ``rate`` tokens/s up to ``burst`` capacity, a submit spends one
+token, and an empty bucket raises a keyed
+:class:`~repro.serve.errors.TenantThrottled` carrying ``retry_after_s``
+(when the bucket will next hold a token) — the polite client sleeps
+exactly that long instead of hammering.
+
+The controller is pure policy: no threads, no background refill — the
+bucket is refilled lazily from the elapsed clock at each ``try_acquire``
+(the standard lazy token bucket), so an injected clock makes every
+decision deterministic under test.  Thread-safe: fleets call
+``try_acquire`` from many client threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TenantQuota", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's budget: sustained ``rate`` req/s, ``burst`` capacity."""
+
+    rate: float    # tokens (requests) refilled per second
+    burst: float   # bucket capacity: max requests admitted back-to-back
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1 (or nothing ever admits)")
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated_at", "admitted", "throttled")
+
+    def __init__(self, tokens: float, now: float) -> None:
+        self.tokens = tokens
+        self.updated_at = now
+        self.admitted = 0
+        self.throttled = 0
+
+
+class AdmissionController:
+    """Lazy token buckets, one per tenant, under one lock.
+
+    Parameters
+    ----------
+    default_quota:
+        Budget applied to any tenant without an explicit ``set_quota``.
+    clock:
+        Monotonic-seconds source; injectable for deterministic tests.
+    """
+
+    def __init__(self, default_quota: TenantQuota,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.default_quota = default_quota
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._buckets: dict[str, _Bucket] = {}
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Pin a tenant's budget (resets its bucket to a full burst)."""
+        with self._lock:
+            self._quotas[tenant] = quota
+            self._buckets[tenant] = _Bucket(quota.burst, self._clock())
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        with self._lock:
+            return self._quotas.get(tenant, self.default_quota)
+
+    def try_acquire(self, tenant: str, cost: float = 1.0) -> float | None:
+        """Spend ``cost`` tokens from ``tenant``'s bucket.
+
+        Returns ``None`` on admission, or the seconds until the bucket
+        will hold ``cost`` tokens again — the ``retry_after_s`` a
+        :class:`~repro.serve.errors.TenantThrottled` carries.
+        """
+        now = self._clock()
+        with self._lock:
+            quota = self._quotas.get(tenant, self.default_quota)
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = _Bucket(quota.burst, now)
+                self._buckets[tenant] = bucket
+            # Lazy refill: tokens accrued since the last decision.
+            elapsed = max(0.0, now - bucket.updated_at)
+            bucket.tokens = min(quota.burst,
+                                bucket.tokens + elapsed * quota.rate)
+            bucket.updated_at = now
+            if bucket.tokens >= cost:
+                bucket.tokens -= cost
+                bucket.admitted += 1
+                return None
+            bucket.throttled += 1
+            return (cost - bucket.tokens) / quota.rate
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant accounting: admitted / throttled / tokens left."""
+        with self._lock:
+            return {tenant: {"admitted": b.admitted,
+                             "throttled": b.throttled,
+                             "tokens": b.tokens}
+                    for tenant, b in self._buckets.items()}
+
+    @property
+    def admitted(self) -> int:
+        with self._lock:
+            return sum(b.admitted for b in self._buckets.values())
+
+    @property
+    def throttled(self) -> int:
+        with self._lock:
+            return sum(b.throttled for b in self._buckets.values())

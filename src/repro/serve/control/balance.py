@@ -1,0 +1,70 @@
+"""Power-of-two-choices read spreading over a key's replica set.
+
+Consistent hashing gives every key a fixed primary, so a hot key melts
+one shard while its replicas idle — the classic skew failure.  Routing
+every read to the *globally* least-loaded replica fixes skew but herds:
+all concurrent routers see the same minimum and pile onto it before its
+queue gauge catches up.  The power-of-two-choices rule (Mitzenmacher
+2001) is the standard middle path: sample **two** replicas uniformly,
+send the read to the less-loaded of the pair.  Exponentially better
+load balance than random placement, at two gauge reads per request and
+no herding — different routers sample different pairs.
+
+The balancer only *reorders* the replica list the ring produced; it
+never adds or removes a replica, so failover still walks the full set
+and correctness (which shards hold the model) stays the ring's job.
+The load signal is :attr:`Shard.queue_depth` — pending + in-flight on
+the shard's server, the same gauge the autoscaler keys on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = ["PowerOfTwoBalancer"]
+
+
+class PowerOfTwoBalancer:
+    """Seeded, thread-safe two-choice replica ordering.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private ``random.Random`` so benchmark and chaos runs
+        replay identically.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.decisions = 0    # order() calls that actually sampled
+        self.diversions = 0   # picks that were not the ring primary
+
+    def order(self, replicas: list) -> list:
+        """Reorder ``replicas`` (ring order, primary first) for one read.
+
+        Samples two distinct *healthy* replicas and promotes the one
+        with the smaller queue depth; ties keep ring order (the earlier
+        replica wins, so a balanced fleet behaves exactly like the
+        primary-only router).  With fewer than two healthy replicas
+        there is no choice to make and the ring order stands.  The
+        result always contains every input replica — failover's
+        replica walk must see the full set.
+        """
+        healthy = [s for s in replicas if getattr(s, "healthy", True)]
+        if len(healthy) < 2:
+            return list(replicas)
+        with self._lock:
+            i, j = self._rng.sample(range(len(healthy)), 2)
+            self.decisions += 1
+        if i > j:
+            i, j = j, i           # i is the earlier (ring-order) sample
+        a, b = healthy[i], healthy[j]
+        # Strict inequality: a tie goes to the earlier replica, keeping
+        # the deterministic ring order under equal load.
+        pick = b if b.queue_depth < a.queue_depth else a
+        if pick is not replicas[0]:
+            with self._lock:
+                self.diversions += 1
+        return [pick] + [s for s in replicas if s is not pick]

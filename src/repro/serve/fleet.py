@@ -16,8 +16,8 @@ way DNN-MG/GMT partition multigrid work across compute units:
   re-dispatched to the next replica; the caller sees the replica's
   answer, not the fault.  Requests are conserved: every submit ends as
   exactly one of served / rejected / expired / errors / cancelled /
-  unavailable (``FleetStats.lost == 0`` is the invariant the
-  fault-injection suite enforces).
+  unavailable / throttled (``FleetStats.lost == 0`` is the invariant
+  the fault-injection suite enforces).
 * **Recovery** — ``check_health()`` probes ejected shards with a real
   tiny prediction and re-admits the ones that answer, after an optional
   ``probe_after_s`` cool-down.  Routing also self-heals: when a key's
@@ -25,6 +25,13 @@ way DNN-MG/GMT partition multigrid work across compute units:
   health marks (non-blocking — safe from worker callbacks and event
   loops), and a shard that serves the answer is re-admitted on the
   spot, so a burst of false hang ejections cannot black-hole a key.
+* **Control seams** — ``self.balancer`` (when installed) reorders each
+  read's replica set by live queue depth (power-of-two-choices) and
+  ``self.admission`` rations submits per tenant (token buckets →
+  ``TenantThrottled``); membership is elastic (``add_shard`` /
+  ``retire_shard`` / ``decommission_shard`` rebuild the ring with
+  minimal key movement, re-registering models reconcile-before-swap).
+  The :mod:`repro.serve.control` plane drives all of these.
 * **Cost model** — every routing hop (ω out, full field back) is charged
   to a :class:`~repro.distributed.comm.SimulatedCommunicator`, so the
   fig10-style scaling story extends to serving:
@@ -60,6 +67,7 @@ import numpy as np
 from ..distributed.comm import SimulatedCommunicator
 from .errors import (
     DeadlineExceeded, FleetUnavailable, ServeError, ServerOverloaded,
+    TenantThrottled,
 )
 from .hashring import HashRing
 from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
@@ -106,6 +114,12 @@ class Shard:
         self.fault_count = 0
         self.last_error: BaseException | None = None
 
+    @property
+    def queue_depth(self) -> int:
+        """Live load gauge (pending + in-flight) of this shard's server
+        — the signal p2c read spreading and the autoscaler key on."""
+        return self.server.queue_depth()
+
     def __repr__(self) -> str:
         state = "healthy" if self.healthy else "ejected"
         return f"Shard({self.id!r}, {state}, faults={self.fault_count})"
@@ -125,12 +139,19 @@ class FleetStats:
     errors: int = 0            # request-level errors (bad ω, registry)
     cancelled: int = 0         # caller cancelled the fleet future
     unavailable: int = 0       # every replica down (FleetUnavailable)
+    throttled: int = 0         # per-tenant admission (TenantThrottled)
     # Fault machinery.
     failovers: int = 0         # re-dispatches after a shard fault
     shard_faults: int = 0      # ejections (errors + hangs + kills)
     hangs: int = 0             # ejections specifically for timeouts
     probes: int = 0
     readmissions: int = 0
+    # Control-plane machinery (load spreading + elasticity).
+    spreads: int = 0           # p2c reads diverted off the primary
+    scale_ups: int = 0         # shards spawned (add_shard)
+    scale_downs: int = 0       # shards drained + retired (retire_shard)
+    decommissions: int = 0     # permanently lost shards removed
+    reregistrations: int = 0   # (key, shard) re-registrations on moves
     # Summed per-shard ServerStats counters.
     requests: int = 0
     cache_hits: int = 0
@@ -150,7 +171,7 @@ class FleetStats:
         """Requests unaccounted for — zero is the conservation law."""
         return self.submitted - (self.served + self.rejected + self.expired
                                  + self.errors + self.cancelled
-                                 + self.unavailable)
+                                 + self.unavailable + self.throttled)
 
     def percentile(self, q: float) -> float:
         if not self.latencies:
@@ -171,18 +192,20 @@ class _RouteState:
     fleet lock where it races with dispatch/failover)."""
 
     __slots__ = ("model_name", "omega", "resolution", "priority",
-                 "deadline_s", "replicas", "next_idx", "current",
+                 "deadline_s", "tenant", "replicas", "next_idx", "current",
                  "submitted_at", "attempt_started", "delivered",
                  "health_retried", "ignore_health")
 
     def __init__(self, model_name: str, omega: np.ndarray,
                  resolution: int | None, priority: int | None,
-                 deadline_s: float | None, replicas: list[Shard]) -> None:
+                 deadline_s: float | None, replicas: list[Shard],
+                 tenant: str | None = None) -> None:
         self.model_name = model_name
         self.omega = omega
         self.resolution = resolution
         self.priority = priority
         self.deadline_s = deadline_s
+        self.tenant = tenant
         self.replicas = replicas
         self.next_idx = 0
         self.current: Shard | None = None
@@ -218,38 +241,59 @@ class ShardedFleet:
             raise ValueError("shards must be >= 1")
         if self.config.replicas < 1:
             raise ValueError("replicas must be >= 1")
-        self._r = min(self.config.replicas, self.config.shards)
+        # Control-plane seams: a balancer reorders a key's replica set
+        # per read (power-of-two-choices on queue depth); an admission
+        # controller rations submits per tenant.  None = PR-5 behavior.
+        self.balancer = None
+        self.admission = None
         self.shards: list[Shard] = []
         self._by_id: dict[str, Shard] = {}
-        for i in range(self.config.shards):
-            shard_id = f"shard-{i:02d}"
-            cfg = self.config.server
-            if cfg.cache_dir is not None:
-                if self.config.shared_spill:
-                    # One directory, one budget: every shard spills into
-                    # the same tier, coordinated by the spill ledger.
-                    # Replicas of one model share a single npz on disk.
-                    cfg = replace(cfg, shared_spill=True)
-                else:
-                    # Each simulated host owns its spill directory:
-                    # budgets and LRU accounting are per-instance.
-                    cfg = replace(cfg, cache_dir=str(Path(cfg.cache_dir)
-                                                     / shard_id))
-            shard = Shard(shard_id, PredictionServer(ModelRegistry(), cfg))
+        self._retired: list[Shard] = []   # drained / decommissioned
+        self._next_shard = 0              # monotone id source: shard ids
+        #                                   never recycle across scaling
+        self._lock = threading.RLock()
+        for _ in range(self.config.shards):
+            shard = self._make_shard()
             self.shards.append(shard)
-            self._by_id[shard_id] = shard
+            self._by_id[shard.id] = shard
         self._ring = HashRing([s.id for s in self.shards],
                               vnodes=self.config.vnodes)
         self._comm = SimulatedCommunicator(
             self.config.shards, time_model=self.config.time_model)
-        self._lock = threading.RLock()
         self._catalog: dict[str, str] = {}      # model name -> version
         self._latencies: list[float] = []
         self._probe_seq = 0
         self._c = {k: 0 for k in (
             "submitted", "served", "rejected", "expired", "errors",
-            "cancelled", "unavailable", "failovers", "shard_faults",
-            "hangs", "probes", "readmissions")}
+            "cancelled", "unavailable", "throttled", "failovers",
+            "shard_faults", "hangs", "probes", "readmissions", "spreads",
+            "scale_ups", "scale_downs", "decommissions",
+            "reregistrations")}
+
+    @property
+    def _r(self) -> int:
+        """Live replication degree: the configured R capped by the
+        *current* shard count (membership is dynamic now)."""
+        return min(self.config.replicas, max(1, len(self.shards)))
+
+    def _make_shard(self) -> Shard:
+        """Build one shard (server + health record) under a fresh id."""
+        with self._lock:
+            shard_id = f"shard-{self._next_shard:02d}"
+            self._next_shard += 1
+        cfg = self.config.server
+        if cfg.cache_dir is not None:
+            if self.config.shared_spill:
+                # One directory, one budget: every shard spills into
+                # the same tier, coordinated by the spill ledger.
+                # Replicas of one model share a single npz on disk.
+                cfg = replace(cfg, shared_spill=True)
+            else:
+                # Each simulated host owns its spill directory:
+                # budgets and LRU accounting are per-instance.
+                cfg = replace(cfg, cache_dir=str(Path(cfg.cache_dir)
+                                                 / shard_id))
+        return Shard(shard_id, PredictionServer(ModelRegistry(), cfg))
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -292,24 +336,30 @@ class ShardedFleet:
                        meta: dict | None = None) -> ModelEntry:
         """Register an in-memory model on its R replica shards."""
         version = state_version(model)
-        replica_ids = self._ring.lookup((name, version), n=self._r)
+        with self._lock:
+            replica_ids = self._ring.lookup((name, version), n=self._r)
+            replicas = [self._by_id[sid] for sid in replica_ids]
         entry: ModelEntry | None = None
-        for sid in replica_ids:
+        for shard in replicas:
             # Pass the routing hash through: hashing the state dict once
             # here and once per replica would cost R+1 full-model hashes
             # per registration for an identical-by-construction result.
-            entry = self._by_id[sid].server.registry.register_model(
+            entry = shard.server.registry.register_model(
                 name, model, problem, path=path, meta=meta, version=version)
         with self._lock:
             old = self._catalog.get(name)
             self._catalog[name] = version
-        if old is not None and old != version:
-            # A retrained model routes to a (possibly) different replica
-            # set; shards that only served the old version must stop.
-            stale = (set(self._ring.lookup((name, old), n=self._r))
-                     - set(replica_ids))
-            for sid in stale:
-                self._by_id[sid].server.registry.unregister(name)
+            if old is not None and old != version:
+                # A retrained model routes to a (possibly) different
+                # replica set; shards serving only the old version stop.
+                stale = (set(self._ring.lookup((name, old), n=self._r))
+                         - set(replica_ids))
+                stale_shards = [self._by_id[sid] for sid in stale
+                                if sid in self._by_id]
+            else:
+                stale_shards = []
+        for shard in stale_shards:
+            shard.server.registry.unregister(name)
         return entry
 
     def load(self, name: str, path, validate: bool = True) -> ModelEntry:
@@ -352,12 +402,15 @@ class ShardedFleet:
         with self._lock:
             version = self._catalog.get(name)
             known = sorted(self._catalog)
-        if version is None:
-            raise RegistryError(
-                f"no model named {name!r} registered in the fleet; "
-                f"available: {known}")
-        ids = self._ring.lookup((name, version), n=self._r)
-        return version, [self._by_id[i] for i in ids]
+            if version is None:
+                raise RegistryError(
+                    f"no model named {name!r} registered in the fleet; "
+                    f"available: {known}")
+            # Lookup + id->shard mapping under one lock hold: membership
+            # changes swap the ring and prune ``_by_id`` together, and a
+            # replica list must never mix the two generations.
+            ids = self._ring.lookup((name, version), n=self._r)
+            return version, [self._by_id[i] for i in ids]
 
     # ------------------------------------------------------------------ #
     # Routed front-ends
@@ -365,7 +418,8 @@ class ShardedFleet:
     def submit(self, model_name: str, omega: np.ndarray,
                resolution: int | None = None, *,
                priority: int | None = None,
-               deadline_s: float | None = None) -> Future:
+               deadline_s: float | None = None,
+               tenant: str | None = None) -> Future:
         """Route one prediction to its replica set; returns a Future.
 
         The primary healthy replica gets the request; a shard fault
@@ -375,11 +429,37 @@ class ShardedFleet:
         and an exhausted replica set (``FleetUnavailable``) raise
         synchronously on the initial dispatch — during an asynchronous
         failover they arrive through the future instead.
+
+        With an admission controller installed (``self.admission``) a
+        ``tenant``-tagged request first spends one token from that
+        tenant's bucket; an empty bucket raises
+        :class:`~repro.serve.errors.TenantThrottled` synchronously.
+        Throttled requests still count as submitted — the conservation
+        law covers them via the ``throttled`` counter.  With a balancer
+        installed (``self.balancer``) the replica set is reordered per
+        read (power-of-two-choices on queue depth) before dispatch.
         """
         omega = np.asarray(omega, dtype=np.float64).reshape(-1)
+        admission = self.admission
+        if tenant is not None and admission is not None:
+            retry_after = admission.try_acquire(tenant)
+            if retry_after is not None:
+                with self._lock:
+                    self._c["submitted"] += 1
+                    self._c["throttled"] += 1
+                quota = admission.quota_for(tenant)
+                raise TenantThrottled(model_name, tenant, retry_after,
+                                      rate=quota.rate, burst=quota.burst)
         _, replicas = self._route(model_name)
+        balancer = self.balancer
+        if balancer is not None and len(replicas) > 1:
+            ordered = balancer.order(replicas)
+            if ordered[0] is not replicas[0]:
+                with self._lock:
+                    self._c["spreads"] += 1
+            replicas = ordered
         state = _RouteState(model_name, omega, resolution, priority,
-                            deadline_s, replicas)
+                            deadline_s, replicas, tenant=tenant)
         out = _FleetFuture(state)
         with self._lock:
             self._c["submitted"] += 1
@@ -390,7 +470,8 @@ class ShardedFleet:
                 resolution: int | None = None,
                 timeout: float | None = None, *,
                 priority: int | None = None,
-                deadline_s: float | None = None) -> np.ndarray:
+                deadline_s: float | None = None,
+                tenant: str | None = None) -> np.ndarray:
         """Blocking routed prediction with hang failover.
 
         With ``config.shard_timeout_s`` set, a shard that neither
@@ -401,7 +482,8 @@ class ShardedFleet:
         """
         return self.await_result(
             self.submit(model_name, omega, resolution,
-                        priority=priority, deadline_s=deadline_s),
+                        priority=priority, deadline_s=deadline_s,
+                        tenant=tenant),
             timeout)
 
     def await_result(self, future: Future, timeout: float | None = None):
@@ -473,10 +555,12 @@ class ShardedFleet:
                      resolution: int | None = None,
                      timeout: float | None = None, *,
                      priority: int | None = None,
-                     deadline_s: float | None = None) -> np.ndarray:
+                     deadline_s: float | None = None,
+                     tenant: str | None = None) -> np.ndarray:
         omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
         futures = [self.submit(model_name, w, resolution, priority=priority,
-                               deadline_s=deadline_s) for w in omegas]
+                               deadline_s=deadline_s, tenant=tenant)
+                   for w in omegas]
         return np.stack([self.await_result(f, timeout) for f in futures])
 
     # ------------------------------------------------------------------ #
@@ -522,11 +606,20 @@ class ShardedFleet:
             try:
                 inner = shard.server.submit(
                     state.model_name, state.omega, state.resolution,
-                    priority=state.priority, deadline_s=state.deadline_s)
+                    priority=state.priority, deadline_s=state.deadline_s,
+                    tenant=state.tenant)
             except ServerOverloaded as exc:
                 # Backpressure is scheduling policy, not a shard fault:
                 # the caller sheds or retries; nobody gets ejected.
                 self._deliver(out, state, exc=exc, counter="rejected")
+                if sync:
+                    raise
+                return
+            except TenantThrottled as exc:
+                # Shard-level admission (a server with its own
+                # controller): policy, not a fault — account it under
+                # the throttle term of the conservation law.
+                self._deliver(out, state, exc=exc, counter="throttled")
                 if sync:
                     raise
                 return
@@ -562,6 +655,9 @@ class ShardedFleet:
             return
         if isinstance(exc, ServerOverloaded):
             self._deliver(out, state, exc=exc, counter="rejected")
+            return
+        if isinstance(exc, TenantThrottled):
+            self._deliver(out, state, exc=exc, counter="throttled")
             return
         if isinstance(exc, DeadlineExceeded):
             self._deliver(out, state, exc=exc, counter="expired")
@@ -661,14 +757,33 @@ class ShardedFleet:
                     candidates.append(shard)
         readmitted = []
         for shard in candidates:
-            with self._lock:
-                self._c["probes"] += 1
-            if self._probe(shard):
-                self._readmit(shard)
+            if self.probe_shard(shard):
                 readmitted.append(shard.id)
         return readmitted
 
-    def _probe(self, shard: Shard) -> bool:
+    def probe_shard(self, shard: "Shard | str",
+                    timeout_s: float | None = None) -> bool:
+        """Probe one shard (by object or id); re-admit on success.
+
+        The control-plane prober's entry point: unlike ``check_health``
+        this targets exactly one shard and accepts an explicit probe
+        budget, so a *hung* shard costs the prober ``timeout_s`` per
+        attempt instead of the generous default recovery budget.
+        Returns ``True`` when the shard answered and was re-admitted.
+        """
+        if isinstance(shard, str):
+            with self._lock:
+                shard = self._by_id.get(shard)
+            if shard is None:
+                return False
+        with self._lock:
+            self._c["probes"] += 1
+        if self._probe(shard, budget_s=timeout_s):
+            self._readmit(shard)
+            return True
+        return False
+
+    def _probe(self, shard: Shard, budget_s: float | None = None) -> bool:
         """One real prediction through the shard's own front-end.
 
         A unique probe ω defeats the result cache (a cached field would
@@ -683,17 +798,176 @@ class ShardedFleet:
             self._probe_seq += 1
             seq = self._probe_seq
         omega = np.full(entry.problem.field.m, 1e-3 * seq)
-        # The probe must be able to succeed on a shard that was ejected
-        # for being *slow*, not broken: give it a budget well above the
-        # hang threshold and let it jump any backlog that caused the
-        # false ejection in the first place.
-        budget = max(30.0, 4 * (self.config.shard_timeout_s or 0.0))
+        if budget_s is None:
+            # The probe must be able to succeed on a shard that was
+            # ejected for being *slow*, not broken: give it a budget
+            # well above the hang threshold and let it jump any backlog
+            # that caused the false ejection in the first place.
+            budget_s = max(30.0, 4 * (self.config.shard_timeout_s or 0.0))
         try:
-            shard.server.predict(entry.name, omega, timeout=budget,
+            shard.server.predict(entry.name, omega, timeout=budget_s,
                                  priority=2 ** 31)
         except Exception:
             return False
         return True
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership: spawn / drain / decommission shards
+    # ------------------------------------------------------------------ #
+    def add_shard(self) -> str:
+        """Spawn one shard and rebalance routing onto it; returns its id.
+
+        Ordering is reconcile-before-swap: the new ring is computed,
+        every model it routes to the newcomer is registered *first*,
+        and only then does the ring swap in — routing never targets a
+        shard that has not got the model yet.  Consistent hashing keeps
+        the movement minimal: only keys whose replica set gains the new
+        shard re-register; everything else stays put.
+
+        Old owners displaced by the newcomer keep their registration as
+        a *grace copy*: requests routed just before the swap are already
+        queued on them and must still find the model.  Grace copies cost
+        a registry reference (the model object is shared), are never
+        routed to by the new ring, and make membership changes safe
+        against in-flight work by construction instead of by timing.
+        """
+        shard = self._make_shard()
+        shard.server.executor.warm()
+        if self.running:
+            shard.server.start()
+        with self._lock:
+            self.shards.append(shard)
+            self._by_id[shard.id] = shard
+            new_ring = HashRing([s.id for s in self.shards],
+                                vnodes=self.config.vnodes)
+            self._reconcile(new_ring)
+            self._ring = new_ring
+            self._c["scale_ups"] += 1
+        return shard.id
+
+    def retire_shard(self, shard_id: str | None = None,
+                     drain_timeout_s: float = 30.0) -> str:
+        """Drain one shard out of the fleet and tear it down; its id.
+
+        Default victim is the least-loaded healthy shard (lowest queue
+        depth) — retiring the busiest one would maximize disruption.
+        The shard leaves the ring first (reconcile-before-swap moves
+        its keys to the survivors), keeps its registry so in-flight and
+        queued work still completes, is drained up to
+        ``drain_timeout_s``, and only then closed.  Requests routed
+        before the swap that fault on the closed server fail over along
+        their replica list as usual — conservation holds throughout.
+        """
+        with self._lock:
+            if len(self.shards) <= 1:
+                raise ValueError("cannot retire the last shard")
+            if shard_id is None:
+                victims = [s for s in self.shards if s.healthy]
+                victims = victims or list(self.shards)
+                shard = min(victims, key=lambda s: s.queue_depth)
+            else:
+                shard = self._by_id[shard_id]
+            self.shards.remove(shard)
+            self._retired.append(shard)   # stays a re-registration
+            #                               source for _reconcile
+            new_ring = HashRing([s.id for s in self.shards],
+                                vnodes=self.config.vnodes)
+            self._reconcile(new_ring)
+            self._ring = new_ring
+            del self._by_id[shard.id]
+            self._c["scale_downs"] += 1
+        # Drain outside the lock: waiting on the retiree's queue while
+        # holding the fleet lock would stall every submit in the fleet.
+        deadline = time.monotonic() + drain_timeout_s
+        while (shard.server.queue_depth() > 0
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        shard.server.close()
+        return shard.id
+
+    def decommission_shard(self, shard_id: str) -> int:
+        """Remove a permanently lost shard and re-replicate its keys.
+
+        The prober's last resort after ``permanent_after`` consecutive
+        probe failures: the shard leaves the ring, survivors that the
+        new ring assigns its keys get fresh registrations (copied from
+        any remaining holder), and teardown is *best effort* on a
+        daemon thread — joining a hung server's workers could block
+        forever, and a dead host owes nobody a clean shutdown.  Returns
+        the number of (key, shard) re-registrations performed.
+        """
+        with self._lock:
+            shard = self._by_id.get(shard_id)
+            if shard is None:
+                return 0
+            if len(self.shards) <= 1:
+                raise ValueError("cannot decommission the last shard")
+            shard.healthy = False
+            self.shards.remove(shard)
+            self._retired.append(shard)
+            new_ring = HashRing([s.id for s in self.shards],
+                                vnodes=self.config.vnodes)
+            moves = self._reconcile(new_ring, exclude=(shard,))
+            self._ring = new_ring
+            del self._by_id[shard.id]
+            self._c["decommissions"] += 1
+        threading.Thread(target=shard.server.close, daemon=True).start()
+        return moves
+
+    def _reconcile(self, ring: HashRing, exclude: tuple = ()) -> int:
+        """Register every catalogued model onto the replicas the *new*
+        ring assigns it, copying the entry from any current holder.
+
+        Called with the fleet lock held, BEFORE the ring swaps in.
+        ``exclude`` names shards that must not serve as a copy source
+        (a decommissioned host is gone; its registry is unreachable by
+        assumption even if the simulation could still read it).
+        Returns the number of (key, shard) registrations performed.
+        """
+        moves = 0
+        r = min(self.config.replicas, max(1, len(self.shards)))
+        dropped = {s.id for s in exclude}
+        for name, version in list(self._catalog.items()):
+            desired = ring.lookup((name, version), n=r)
+            source = None
+            for holder in list(self.shards) + list(self._retired):
+                if holder.id in dropped:
+                    continue
+                try:
+                    entry = holder.server.registry.get(name)
+                except Exception:
+                    continue
+                if entry.version == version:
+                    source = entry
+                    break
+            if source is None:
+                continue   # no surviving holder; nothing to copy from
+            for sid in desired:
+                target = self._by_id.get(sid)
+                if target is None:
+                    continue
+                try:
+                    have = target.server.registry.get(name)
+                except Exception:
+                    have = None
+                if have is not None and have.version == version:
+                    continue
+                target.server.registry.register_model(
+                    name, source.model, source.problem, path=source.path,
+                    meta=source.meta, version=version)
+                moves += 1
+        if moves:
+            self._c["reregistrations"] += moves
+        return moves
+
+    # Note there is deliberately no prune step after a membership
+    # change.  Shrinking the ring never takes a key away from a
+    # survivor (the R-walk only swaps the removed member for the next
+    # distinct one), and on growth the displaced owners keep grace
+    # copies: a request routed against the old ring may already sit in
+    # their queue, and unregistering under it would fail that request
+    # for no fault of its own.  Grace copies are registry references —
+    # the model object is shared — and the ring never routes to them.
 
     # ------------------------------------------------------------------ #
     # Statistics
@@ -707,11 +981,15 @@ class ShardedFleet:
                 healthy_shards=sum(s.healthy for s in self.shards),
                 latencies=list(self._latencies),
                 **self._c)
+            live = list(self.shards)
+            retired = list(self._retired)
         log = self._comm.log
         merged.send_calls = log.send_calls
         merged.send_bytes = log.send_bytes
         merged.virtual_comm_seconds = log.virtual_comm_seconds
-        for shard in self.shards:
+        # Retired shards are summed too: their serving history must not
+        # vanish from the fleet totals when the autoscaler scales down.
+        for shard in live + retired:
             s = shard.server.stats
             merged.requests += s.requests
             merged.cache_hits += s.cache_hits
@@ -719,12 +997,15 @@ class ShardedFleet:
             merged.batches += s.batches
             merged.batched_requests += s.batched_requests
             merged.tiled_forwards += s.tiled_forwards
+        for shard in live:
+            s = shard.server.stats
             merged.per_shard[shard.id] = {
                 "healthy": shard.healthy,
                 "faults": shard.fault_count,
                 "requests": s.requests,
                 "cache_hits": s.cache_hits,
                 "errors": s.errors,
+                "queue_depth": shard.queue_depth,
                 "models": list(shard.server.registry.names()),
             }
         return merged

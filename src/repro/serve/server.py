@@ -59,7 +59,7 @@ from ..backend import set_backend
 from ..core.inference import predict_batch
 from .batching import MicroBatcher, PredictRequest, RequestQueue
 from .cache import LRUCache, result_key
-from .errors import DeadlineExceeded, ServerOverloaded
+from .errors import DeadlineExceeded, ServerOverloaded, TenantThrottled
 from .executor import Executor, SerialExecutor, make_executor
 from .registry import ModelEntry, ModelRegistry
 from .tiling import receptive_halo, tiled_predict
@@ -94,7 +94,8 @@ class ServerConfig:
     cache_bytes: int = 64 * 1024 * 1024
     omega_step: float = 1e-6          # cache-key quantization lattice
     tile_threshold_voxels: int = 2 ** 21  # tile forwards above ~2M voxels
-    tile: int | None = None           # set: force tiling at this tile size
+    tile: "int | str | None" = None   # set: force tiling at this tile
+    #                                   size; "autotune": measured winner
     halo: int | None = None           # None: receptive-field halo
     backend: str | None = None        # backend workers pin (None: inherit)
     executor: str = "serial"          # compute layer: serial|thread|process
@@ -123,6 +124,8 @@ class ServerStats:
     errors: int = 0
     rejected: int = 0          # max_pending backpressure rejections
     expired: int = 0           # deadlines missed before a fused forward
+    throttled: int = 0         # per-tenant admission-control rejections
+    queue_depth: int = 0       # gauge: pending + in-flight at last read
     latencies: list = field(default_factory=list)
 
     def observe_latency(self, seconds: float) -> None:
@@ -155,6 +158,9 @@ class PredictionServer:
                  config: ServerConfig | None = None) -> None:
         self.registry = registry
         self.config = config or ServerConfig()
+        # Optional per-tenant admission controller (see
+        # repro.serve.control.admission); None admits everything.
+        self.admission = None
         self.cache = LRUCache(self.config.cache_bytes,
                               spill_dir=self.config.cache_dir,
                               spill_max_bytes=self.config.spill_max_bytes,
@@ -187,6 +193,21 @@ class PredictionServer:
     @property
     def running(self) -> bool:
         return bool(self._workers)
+
+    def queue_depth(self) -> int:
+        """Cheap load gauge: requests pending in the queue plus those a
+        worker has drained but not yet resolved.
+
+        This is the primitive both power-of-two-choices read spreading
+        and the autoscaler consume — ``unfinished_tasks`` is exactly
+        put-count minus ``task_done``-count, so a request counts from
+        accepted submit to resolution.  The reading is also stamped on
+        ``stats.queue_depth`` so stats snapshots carry the gauge.
+        """
+        with self._queue.mutex:
+            depth = self._queue.unfinished_tasks
+        self.stats.queue_depth = depth
+        return depth
 
     @property
     def executor(self) -> Executor:
@@ -260,7 +281,8 @@ class PredictionServer:
     def submit(self, model_name: str, omega: np.ndarray,
                resolution: int | None = None, *,
                priority: int | None = None,
-               deadline_s: float | None = None) -> Future:
+               deadline_s: float | None = None,
+               tenant: str | None = None) -> Future:
         """Queue one prediction; returns a Future of the (full-field)
         NumPy array.  Cache hits resolve immediately without queueing.
 
@@ -272,10 +294,22 @@ class PredictionServer:
         fused forward.  When ``config.max_pending`` bounds the queue, an
         overflowing submit raises :class:`ServerOverloaded` synchronously
         (and counts it in ``stats.rejected``) — shed or retry with
-        backoff.
+        backoff.  ``tenant`` names the request's accounting principal:
+        with an admission controller installed a tenant past its
+        token-bucket quota is rejected synchronously with a keyed
+        :class:`TenantThrottled` (counted in ``stats.throttled``) before
+        the request consumes any server state — cache lookups included.
 
         Served fields are read-only (hits and misses alike — they may be
         shared with the cache); copy before mutating."""
+        if tenant is not None and self.admission is not None:
+            retry_after = self.admission.try_acquire(tenant)
+            if retry_after is not None:
+                with self._stats_lock:
+                    self.stats.throttled += 1
+                quota = self.admission.quota_for(tenant)
+                raise TenantThrottled(model_name, tenant, retry_after,
+                                      rate=quota.rate, burst=quota.burst)
         entry = self.registry.get(model_name)
         r = int(resolution or entry.problem.resolution)
         omega = np.asarray(omega, dtype=np.float64).reshape(-1)
@@ -317,7 +351,8 @@ class PredictionServer:
         request = PredictRequest(
             model_name=model_name, omega=omega, resolution=r, future=future,
             key=key, priority=int(priority), deadline_s=deadline_s,
-            expires_at=(t0 + deadline_s if deadline_s is not None else None))
+            expires_at=(t0 + deadline_s if deadline_s is not None else None),
+            tenant=tenant)
         if self.running:
             try:
                 self._queue.put(request, block=False)
@@ -359,20 +394,24 @@ class PredictionServer:
                 resolution: int | None = None,
                 timeout: float | None = None, *,
                 priority: int | None = None,
-                deadline_s: float | None = None) -> np.ndarray:
+                deadline_s: float | None = None,
+                tenant: str | None = None) -> np.ndarray:
         """Blocking single prediction (sync front-end)."""
         return self.submit(model_name, omega, resolution, priority=priority,
-                           deadline_s=deadline_s).result(timeout)
+                           deadline_s=deadline_s,
+                           tenant=tenant).result(timeout)
 
     def predict_many(self, model_name: str, omegas: np.ndarray,
                      resolution: int | None = None,
                      timeout: float | None = None, *,
                      priority: int | None = None,
-                     deadline_s: float | None = None) -> np.ndarray:
+                     deadline_s: float | None = None,
+                     tenant: str | None = None) -> np.ndarray:
         """Submit a batch of ω and gather results, shape (B, *grid)."""
         omegas = np.atleast_2d(np.asarray(omegas, dtype=np.float64))
         futures = [self.submit(model_name, w, resolution, priority=priority,
-                               deadline_s=deadline_s) for w in omegas]
+                               deadline_s=deadline_s, tenant=tenant)
+                   for w in omegas]
         return np.stack([f.result(timeout) for f in futures])
 
     # ------------------------------------------------------------------ #

@@ -42,17 +42,28 @@ from __future__ import annotations
 import hashlib
 import itertools
 import pickle
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..backend import get_pool
+from ..backend.tuning import MeasurementCache
 from ..core.inference import apply_bc_masks, prepare_batch_inputs
 from ..distributed.model_parallel import extract_padded_block
 
-__all__ = ["TilePlan", "receptive_halo", "plan_tiles", "tiled_forward",
-           "tiled_predict"]
+__all__ = ["TilePlan", "receptive_halo", "plan_tiles", "tile_candidates",
+           "autotune_tile", "tiled_forward", "tiled_predict"]
+
+# Measured tile-size winners, persisted per host (the best tile trades
+# per-tile overhead against working-set size — a property of this CPU's
+# caches, not of the model).  Same seam as the conv-engine autotuner:
+# host-fingerprinted JSON, env-var path override for test isolation.
+_TILE_MEASUREMENTS = MeasurementCache(
+    default_path=Path.home() / ".cache" / "repro" / "tile_autotune.json",
+    env_var="REPRO_TILE_AUTOTUNE_CACHE")
 
 
 @dataclass(frozen=True)
@@ -117,6 +128,61 @@ def plan_tiles(shape: tuple[int, ...], tile: int, halo: int,
     blocks = tuple(tuple(combo) for combo in itertools.product(*per_axis))
     return TilePlan(shape=tuple(shape), tile=tile, halo=halo,
                     multiple=multiple, blocks=blocks)
+
+
+def tile_candidates(shape: tuple[int, ...], multiple: int) -> list[int]:
+    """Aligned tile sizes worth measuring for a spatial ``shape``:
+    powers-of-two multiples of ``2**depth`` up to the untiled size."""
+    max_tile = min(shape)
+    candidates = []
+    t = multiple
+    while t < max_tile:
+        candidates.append(t)
+        t *= 2
+    if max_tile >= multiple and max_tile % multiple == 0:
+        candidates.append(max_tile)   # untiled: one block per axis
+    return candidates
+
+
+def autotune_tile(model, problem, resolution: int | None = None,
+                  halo: int | None = None, executor=None) -> int:
+    """Measure-and-persist the fastest tile size for this workload.
+
+    Times one full :func:`tiled_predict` per candidate (powers of two
+    from ``2**depth`` up to the untiled size) and records the winner in
+    the host-fingerprinted measurement cache, keyed by everything the
+    optimum depends on: dimensionality, resolution, network depth, halo
+    width, and the executor shape (tile-grain parallelism shifts the
+    optimum toward more, smaller tiles).  Subsequent calls are a cache
+    hit — the measurement runs once per host per key.
+    """
+    log_nu, _, _ = prepare_batch_inputs(
+        problem, np.zeros((1, problem.field.m)), resolution)
+    shape = log_nu.shape[2:]
+    net = model.net
+    multiple = 2 ** net.depth
+    if halo is None:
+        halo = receptive_halo(model)
+    kind = getattr(executor, "kind", "serial")
+    workers = getattr(executor, "workers", 1)
+    key = (f"{len(shape)}d:r{max(shape)}:d{net.depth}:h{halo}"
+           f":{kind}x{workers}")
+    record = _TILE_MEASUREMENTS.get(key)
+    if record is None:
+        omega = np.full(problem.field.m, 0.5)
+        timings: dict[str, float] = {}
+        best_tile, best_dt = None, float("inf")
+        for tile in tile_candidates(shape, multiple):
+            t0 = time.perf_counter()
+            tiled_predict(model, problem, omega, resolution,
+                          tile=tile, halo=halo, executor=executor)
+            dt = time.perf_counter() - t0
+            timings[str(tile)] = dt
+            if dt < best_dt:
+                best_tile, best_dt = tile, dt
+        record = _TILE_MEASUREMENTS.setdefault(
+            key, {"tile": int(best_tile), "seconds": timings})
+    return int(record["tile"])
 
 
 def _padded_block(x: np.ndarray, block, halo: int):
@@ -241,7 +307,8 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
 
 
 def tiled_predict(model, problem, omegas: np.ndarray,
-                  resolution: int | None = None, tile: int | None = None,
+                  resolution: int | None = None,
+                  tile: "int | str | None" = None,
                   halo: int | None = None, executor=None,
                   net_ref: tuple[str, bytes] | None = None) -> np.ndarray:
     """Tiled counterpart of :func:`repro.core.inference.predict_batch`.
@@ -254,7 +321,11 @@ def tiled_predict(model, problem, omegas: np.ndarray,
     stitched field is identical to the sequential result.  ``net_ref``
     (``(version, pickled net)``) lets a serving caller reuse one
     serialization of the network across calls on the process path.
+    ``tile="autotune"`` resolves the size through :func:`autotune_tile`
+    (measured once per host/workload, persisted, then a cache hit).
     """
+    if tile == "autotune":
+        tile = autotune_tile(model, problem, resolution, halo, executor)
     log_nu, chi_int, u_bc = prepare_batch_inputs(problem, omegas, resolution)
     shape = log_nu.shape[2:]
 
