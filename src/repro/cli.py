@@ -137,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pool size for --executor (default: CPU count)")
     p.add_argument("--autotune", action="store_true",
                    help="measured conv autotuning (persisted per host)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient failures (I/O, executor faults) "
+                        "up to N extra attempts with jittered backoff")
 
     p = sub.add_parser("serve", help="batching/caching prediction server")
     p.add_argument("--checkpoint", action="append", required=True,
@@ -216,6 +219,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", default=None,
                    help="tenant name the synthetic request load is "
                         "accounted to (default: unmetered)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="with --shards>1: re-submit transient failures "
+                        "(unavailable / overloaded / throttled) up to N "
+                        "extra attempts, metered by the retry budget")
+    p.add_argument("--retry-budget", type=_parse_tenant_quota, default=None,
+                   metavar="RATE[:BURST]",
+                   help="token bucket bounding fleet-wide retries "
+                        "(RATE tokens/s sustained, BURST back-to-back; "
+                        "default 2:8)")
+    p.add_argument("--hedge", type=float, nargs="?", const=95.0,
+                   default=None, metavar="QUANTILE",
+                   help="with --shards>1: hedge slow reads — race a "
+                        "backup request on another replica once this "
+                        "tracked latency quantile elapses (default 95)")
+    p.add_argument("--breaker-after", type=_positive_int, default=None,
+                   metavar="N",
+                   help="with --shards>1: open a (model, shard) circuit "
+                        "after N consecutive faults and prefer other "
+                        "replicas until it heals")
+    p.add_argument("--breaker-reset", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="cool-down before an open circuit half-opens "
+                        "and admits trial requests (default 1.0)")
 
     p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
     p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
@@ -294,12 +320,25 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_predict(args) -> int:
+    import time
+
     from .backend import set_conv_plan_mode
     from .core.metrics import compare_fields
     from .serve import ModelRegistry, RegistryError, make_executor, tiled_predict
 
     if args.autotune:
         set_conv_plan_mode("autotune")
+    policy = None
+    if args.retries > 0:
+        from .serve import RetryConfig, RetryPolicy
+
+        # Local inference has no fleet to storm, but transient I/O or
+        # executor faults (a spill read race, a worker lost to an OOM
+        # kill) deserve the same budgeted, jittered second chance.
+        policy = RetryPolicy(
+            RetryConfig(max_attempts=args.retries + 1, budget_rate=1.0,
+                        budget_burst=max(1, args.retries)),
+            retryable=lambda exc: isinstance(exc, (OSError, RuntimeError)))
     registry = ModelRegistry()
     try:
         entry = registry.load("model", args.checkpoint, validate=False)
@@ -310,13 +349,26 @@ def _cmd_predict(args) -> int:
     resolution = args.resolution or problem.resolution
     executor = make_executor(args.executor, args.executor_workers)
     try:
-        if args.tile is not None or args.halo is not None:
-            u = tiled_predict(model, problem, args.omega,
-                              resolution=resolution,
-                              tile=args.tile, halo=args.halo,
-                              executor=executor)[0]
-        else:
-            u = model.predict(problem, args.omega, resolution=resolution)
+        attempt = 0
+        while True:
+            try:
+                if args.tile is not None or args.halo is not None:
+                    u = tiled_predict(model, problem, args.omega,
+                                      resolution=resolution,
+                                      tile=args.tile, halo=args.halo,
+                                      executor=executor)[0]
+                else:
+                    u = model.predict(problem, args.omega,
+                                      resolution=resolution)
+                break
+            except (OSError, RuntimeError) as exc:
+                delay = None if policy is None else policy.plan(exc, attempt)
+                if delay is None:
+                    raise
+                attempt += 1
+                print(f"transient failure ({exc}); retrying in "
+                      f"{delay * 1e3:.0f} ms", file=sys.stderr)
+                time.sleep(delay)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -355,24 +407,43 @@ def _serve_request_loads(args, names, get_entry) -> dict[str, np.ndarray]:
     return loads
 
 
-def _submit_with_backoff(backend, name, omega, resolution, tenant=None):
+_RETRY_WALL_S = 30.0   # total retry wall-time cap per client submit
+
+
+def _submit_with_backoff(backend, name, omega, resolution, tenant=None,
+                         max_wait_s=_RETRY_WALL_S):
     """With --max-pending the queue sheds load; this client applies the
-    intended response — back off briefly and retry.  A throttled tenant
-    sleeps exactly the ``retry_after_s`` its rejection names (the token
-    bucket's refill horizon) instead of polling."""
+    intended response.  Backpressure gets seeded jittered exponential
+    backoff (2 ms doubling to a 100 ms cap — fixed delays from many
+    clients re-collide forever); a throttled tenant sleeps exactly the
+    ``retry_after_s`` its rejection names — the token bucket's own
+    refill horizon, not a guess.  Total retry wall-time is capped at
+    ``max_wait_s``: when the next delay cannot fit, the pending verdict
+    propagates to the caller instead of retrying unboundedly."""
+    import random
     import time
 
     from .serve import ServerOverloaded, TenantThrottled
 
+    rng = random.Random(0)
+    deadline = time.monotonic() + max_wait_s
+    backoff = 0.002
     while True:
         try:
             if tenant is None:
                 return backend.submit(name, omega, resolution)
             return backend.submit(name, omega, resolution, tenant=tenant)
         except ServerOverloaded:
-            time.sleep(0.002)
+            delay = rng.uniform(0.0, backoff)
+            backoff = min(backoff * 2.0, 0.1)
+            if time.monotonic() + delay >= deadline:
+                raise
+            time.sleep(delay)
         except TenantThrottled as exc:
-            time.sleep(min(exc.retry_after_s, 1.0))
+            delay = max(0.0, float(exc.retry_after_s))
+            if time.monotonic() + delay >= deadline:
+                raise
+            time.sleep(delay)
 
 
 def _cmd_serve(args) -> int:
@@ -381,7 +452,7 @@ def _cmd_serve(args) -> int:
     from .backend import set_conv_plan_mode
     from .serve import (
         DeadlineExceeded, ModelRegistry, PredictionServer, RegistryError,
-        ServerConfig,
+        ServerConfig, ServerOverloaded,
     )
 
     if args.autotune:
@@ -416,11 +487,21 @@ def _cmd_serve(args) -> int:
     t0 = time.perf_counter()
     try:
         with server:
+            def submit(name, w):
+                try:
+                    return _submit_with_backoff(
+                        server, name, w, args.resolution)
+                except ServerOverloaded:
+                    # Still shedding after the full retry wall-time cap:
+                    # already counted in stats.rejected — report there.
+                    return None
+
             for _ in range(max(1, args.repeat)):
-                futures = [(name, _submit_with_backoff(
-                                server, name, w, args.resolution))
+                futures = [(name, submit(name, w))
                            for name in names for w in loads[name]]
                 for _, f in futures:
+                    if f is None:
+                        continue
                     try:
                         f.result()
                     except DeadlineExceeded:
@@ -458,20 +539,45 @@ def _serve_fleet(args, config) -> int:
     ``--control`` layers the SLO control plane on top: backoff health
     probes, p2c read spreading, and optionally per-tenant admission
     (``--tenant-quota``) and queue-depth autoscaling
-    (``--autoscale-min/--autoscale-max``).
+    (``--autoscale-min/--autoscale-max``).  ``--retries`` /
+    ``--retry-budget`` / ``--hedge`` / ``--breaker-after`` install the
+    client-side resilience policies on the fleet's seams.
     """
     import contextlib
     import time
 
     from .serve import (
-        ControlConfig, ControlPlane, DeadlineExceeded, FleetUnavailable,
-        RegistryError, ServerOverloaded,
+        BreakerConfig, ControlConfig, ControlPlane, DeadlineExceeded,
+        FleetUnavailable, HedgeConfig, RegistryError, ResilienceConfig,
+        RetryConfig, ServerOverloaded, TenantThrottled, install_resilience,
     )
     from .serve.fleet import FleetConfig, ShardedFleet
 
     fleet = ShardedFleet(FleetConfig(
         shards=args.shards, replicas=args.replicas,
         shard_timeout_s=args.shard_timeout, server=config))
+    use_resilience = (args.retries > 0 or args.retry_budget is not None
+                      or args.hedge is not None
+                      or args.breaker_after is not None)
+    if use_resilience:
+        retry_cfg = None
+        if args.retries > 0 or args.retry_budget is not None:
+            rate, burst = (args.retry_budget
+                           if args.retry_budget is not None else (2.0, 8.0))
+            retry_cfg = RetryConfig(max_attempts=max(args.retries, 1) + 1,
+                                    budget_rate=rate, budget_burst=burst)
+        try:
+            install_resilience(fleet, ResilienceConfig(
+                retry=retry_cfg,
+                hedge=(HedgeConfig(quantile=args.hedge)
+                       if args.hedge is not None else None),
+                breaker=(BreakerConfig(
+                    failure_threshold=args.breaker_after,
+                    reset_after_s=args.breaker_reset)
+                    if args.breaker_after is not None else None)))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     plane = None
     use_control = (args.control or args.autoscale_min is not None
                    or args.tenant_quota is not None)
@@ -506,28 +612,51 @@ def _serve_fleet(args, config) -> int:
             # Every replica for this key is down *right now*; already
             # counted in stats.unavailable — shed and report below.
             return None
+        except (ServerOverloaded, TenantThrottled):
+            # Still shedding / throttling after the retry wall-time
+            # cap; counted in the fleet stats — report there.
+            return None
+
+    def drain(name, w, f):
+        """Await one future; transient verdicts re-submit through the
+        installed retry policy (each retry a fresh conserved submit)."""
+        attempt = 0
+        while True:
+            if f is not None:
+                try:
+                    # await_result (not f.result): --shard-timeout
+                    # ejects hung shards on this path too.
+                    fleet.await_result(f)
+                    return
+                except (DeadlineExceeded, FleetUnavailable,
+                        ServerOverloaded, TenantThrottled) as exc:
+                    # ServerOverloaded can arrive through the future
+                    # when a failover re-dispatch lands on a full
+                    # replica queue; everything here is reported below
+                    # via the fleet stats.
+                    pending = exc
+            else:
+                return
+            policy = fleet.retry
+            delay = (None if policy is None
+                     else policy.plan(pending, attempt))
+            if delay is None:
+                return
+            attempt += 1
+            fleet.note_retry()
+            if delay > 0:
+                time.sleep(delay)
+            f = submit(name, w)
 
     t0 = time.perf_counter()
     try:
         with fleet, (plane if plane is not None
                      else contextlib.nullcontext()):
             for _ in range(max(1, args.repeat)):
-                futures = [(name, submit(name, w))
+                futures = [(name, w, submit(name, w))
                            for name in names for w in loads[name]]
-                for _, f in futures:
-                    if f is None:
-                        continue
-                    try:
-                        # await_result (not f.result): --shard-timeout
-                        # ejects hung shards on this path too.
-                        fleet.await_result(f)
-                    except (DeadlineExceeded, FleetUnavailable,
-                            ServerOverloaded):
-                        # ServerOverloaded can arrive through the future
-                        # when a failover re-dispatch lands on a full
-                        # replica queue; all three are reported below
-                        # via the fleet stats.
-                        pass
+                for name, w, f in futures:
+                    drain(name, w, f)
             wall = time.perf_counter() - t0
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -547,6 +676,10 @@ def _serve_fleet(args, config) -> int:
           f"{s.throttled} throttled; "
           f"faults: {s.shard_faults} ejections, {s.failovers} failovers, "
           f"{s.readmissions} readmissions; lost: {s.lost}")
+    if use_resilience:
+        print(f"resilience: {s.retried} retried, {s.hedges} hedges "
+              f"({s.hedged_wins} wins, {s.hedge_cancels} cancelled), "
+              f"{s.breaker_open} breaker deflections")
     print(f"interconnect (simulated): {s.send_calls} hops, "
           f"{s.send_bytes >> 20} MiB, "
           f"{s.virtual_comm_seconds * 1e3:.2f} ms virtual")

@@ -20,6 +20,14 @@ FEM solve.  This package is the infrastructure realizing that claim:
   power-of-two-choices read spreading (:class:`PowerOfTwoBalancer`),
   per-tenant token-bucket admission (:class:`AdmissionController`) and
   queue-depth autoscaling (:class:`Autoscaler`);
+* resilience policies (:func:`install_resilience`) — budgeted retries
+  (:class:`RetryPolicy`), quantile-delayed hedged reads
+  (:class:`HedgePolicy`) and per-(model, shard) circuit breakers
+  (:class:`CircuitBreaker`) on the fleet's call path;
+* trace replay (:class:`ReplayHarness`) — deterministic scenario
+  scripts (heavy-tailed arrivals, zipfian popularity, diurnal
+  envelopes, coordinated fault schedules) replayed against a live
+  fleet with byte-identical event logs per seed;
 * :func:`tiled_predict` — exact full-field inference on grids too large
   for one forward pass, via ``2**depth``-aligned halo-padded tiles.
 
@@ -54,6 +62,16 @@ from .executor import (
 from .fleet import FleetConfig, FleetStats, Shard, ShardedFleet
 from .hashring import HashRing
 from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
+from .replay import (
+    ArrivalSpec, FaultSpec, PopularitySpec, ReplayHarness, ReplayReport,
+    Scenario, TenantSpec, TraceEvent, VirtualClock, build_trace, event_log,
+    load_scenario,
+)
+from .resilience import (
+    BreakerConfig, CircuitBreaker, HedgeConfig, HedgePolicy, HedgeTimer,
+    ResilienceConfig, RetryConfig, RetryPolicy, install_resilience,
+    uninstall_resilience,
+)
 from .server import PredictionServer, ServerConfig, ServerStats
 from .spill_ledger import SpillLedger
 from .tiling import (
@@ -74,6 +92,12 @@ __all__ = [
     "ProcessExecutor", "default_workers", "make_executor",
     "FleetConfig", "FleetStats", "Shard", "ShardedFleet", "HashRing",
     "SpillLedger",
+    "RetryConfig", "RetryPolicy", "HedgeConfig", "HedgePolicy",
+    "BreakerConfig", "CircuitBreaker", "HedgeTimer", "ResilienceConfig",
+    "install_resilience", "uninstall_resilience",
+    "ArrivalSpec", "PopularitySpec", "TenantSpec", "FaultSpec",
+    "Scenario", "TraceEvent", "VirtualClock", "ReplayHarness",
+    "ReplayReport", "build_trace", "event_log", "load_scenario",
     "ModelEntry", "ModelRegistry", "RegistryError", "state_version",
     "PredictionServer", "ServerConfig", "ServerStats",
     "TilePlan", "plan_tiles", "receptive_halo", "tile_candidates",

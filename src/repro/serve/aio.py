@@ -159,10 +159,37 @@ class AsyncPredictionServer:
                       priority: int | None = None,
                       deadline_s: float | None = None,
                       tenant: str | None = None) -> np.ndarray:
-        """One awaited prediction (async counterpart of ``predict``)."""
-        return await self.submit(model_name, omega, resolution,
-                                 priority=priority, deadline_s=deadline_s,
-                                 tenant=tenant)
+        """One awaited prediction (async counterpart of ``predict``).
+
+        When the wrapped back-end is a fleet with a retry policy
+        installed (``fleet.retry``), transient verdicts —
+        ``FleetUnavailable``, ``ServerOverloaded``, ``TenantThrottled``
+        — are re-submitted after the policy's backoff, awaited with
+        ``asyncio.sleep`` so the loop keeps spinning.  Same semantics
+        as the blocking ``ShardedFleet.predict`` retry loop: each retry
+        is a fresh, individually conserved submit.
+        """
+        policy = getattr(self.server, "retry", None)
+        attempt = 0
+        while True:
+            try:
+                return await self.submit(
+                    model_name, omega, resolution, priority=priority,
+                    deadline_s=deadline_s, tenant=tenant)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                if policy is None:
+                    raise
+                delay = policy.plan(exc, attempt)
+                if delay is None:
+                    raise
+                attempt += 1
+                note = getattr(self.server, "note_retry", None)
+                if note is not None:
+                    note()
+                if delay > 0:
+                    await asyncio.sleep(delay)
 
     async def predict_many(self, model_name: str, omegas: np.ndarray,
                            resolution: int | None = None, *,

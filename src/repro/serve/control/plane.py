@@ -50,6 +50,11 @@ class ControlConfig:
     # Consecutive probe failures before a shard is declared permanently
     # lost, decommissioned, and its keys re-replicated.  None: never.
     permanent_after: int | None = None
+    # Fraction of each probe backoff window randomized (full jitter by
+    # default) so simultaneously-ejected shards don't probe in
+    # lockstep; 0.0 restores the exact deterministic schedule.
+    probe_jitter: float = 1.0
+    probe_seed: int = 0
     # Load spreading (power-of-two-choices).
     balance: bool = True
     balance_seed: int = 0
@@ -121,7 +126,9 @@ class ControlPlane:
             max_backoff_s=cfg.probe_max_backoff_s,
             probe_timeout_s=cfg.probe_timeout_s,
             permanent_after=cfg.permanent_after,
-            clock=clock)
+            clock=clock,
+            jitter=cfg.probe_jitter,
+            seed=cfg.probe_seed)
         self.balancer = (PowerOfTwoBalancer(seed=cfg.balance_seed)
                          if cfg.balance else None)
         self.admission = None

@@ -10,6 +10,12 @@ loop nobody has to babysit:
   immediately, then exponential backoff (``base * 2^(fails-1)``,
   capped at ``max_backoff_s``) so a dead shard costs asymptotically
   one probe per ``max_backoff_s`` instead of one per tick;
+* the backoff window is **full-jittered** from a seeded RNG (draw
+  uniformly in ``[(1-jitter) * window, window]``): shards ejected by
+  one correlated event — a burst of false hang ejections, a rack power
+  blip — would otherwise share an identical schedule and probe in
+  lockstep forever, hammering the fleet at the same instants.
+  ``jitter=0.0`` restores the exact deterministic schedule;
 * probes run through :meth:`ShardedFleet.probe_shard` with a *short*
   explicit budget (``probe_timeout_s``) — a hung shard eats that
   budget, not the 30 s recovery default the operator path uses;
@@ -28,6 +34,7 @@ exact probe/backoff schedule; the background thread lives in
 
 from __future__ import annotations
 
+import random
 import time
 from typing import TYPE_CHECKING, Callable
 
@@ -66,6 +73,14 @@ class HealthProber:
     clock:
         Monotonic-seconds source for the *schedule* (injectable; the
         probe prediction itself always runs in real time).
+    jitter:
+        Fraction of each backoff window randomized (full jitter by
+        default): the wait is drawn uniformly from
+        ``[(1-jitter) * window, window]``, de-synchronizing shards
+        ejected by the same event.  ``0.0`` = the exact schedule.
+    seed:
+        Seed of the jitter RNG — two probers with one seed defer
+        identically, so jittered runs stay reproducible.
     """
 
     def __init__(self, fleet: "ShardedFleet",
@@ -73,16 +88,22 @@ class HealthProber:
                  max_backoff_s: float = 2.0,
                  probe_timeout_s: float = 1.0,
                  permanent_after: int | None = None,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 jitter: float = 1.0,
+                 seed: int = 0) -> None:
         if base_backoff_s <= 0 or max_backoff_s < base_backoff_s:
             raise ValueError("need 0 < base_backoff_s <= max_backoff_s")
         if permanent_after is not None and permanent_after < 1:
             raise ValueError("permanent_after must be >= 1 (or None)")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
         self.fleet = fleet
         self.base_backoff_s = float(base_backoff_s)
         self.max_backoff_s = float(max_backoff_s)
         self.probe_timeout_s = float(probe_timeout_s)
         self.permanent_after = permanent_after
+        self.jitter = float(jitter)
+        self._rng = random.Random(seed)
         self._clock = clock
         self._records: dict[str, _ProbeRecord] = {}
         self.probes = 0
@@ -141,6 +162,14 @@ class HealthProber:
                 self.reregistrations += moves
                 self._records.pop(shard.id, None)
                 continue
-            record.next_probe_at = now + record.backoff(
-                self.base_backoff_s, self.max_backoff_s)
+            window = record.backoff(self.base_backoff_s,
+                                    self.max_backoff_s)
+            if self.jitter > 0.0:
+                # Full jitter: shards ejected together draw different
+                # waits from the shared seeded RNG (consumed in the
+                # deterministic fleet.shards iteration order, so the
+                # whole jittered schedule is still reproducible).
+                window *= (1.0 - self.jitter
+                           + self.jitter * self._rng.random())
+            record.next_probe_at = now + window
         return probed

@@ -32,6 +32,18 @@ way DNN-MG/GMT partition multigrid work across compute units:
   ``retire_shard`` / ``decommission_shard`` rebuild the ring with
   minimal key movement, re-registering models reconcile-before-swap).
   The :mod:`repro.serve.control` plane drives all of these.
+* **Resilience seams** — ``self.retry`` / ``self.hedge`` /
+  ``self.breaker`` (installed by :func:`~repro.serve.resilience.
+  install_resilience`) add call-level healing: ``predict`` re-submits
+  transient verdicts under a token-bucket retry budget (each retry is
+  a fresh, individually conserved submit, counted ``retried``); slow
+  reads race a backup request on a different replica after a
+  quantile-tracked delay (first answer wins via the delivered-guard,
+  losers are cancelled — ``hedges`` / ``hedged_wins`` /
+  ``hedge_cancels``); open circuits per (model, shard) push a replica
+  to the back of the dispatch order without ever dropping it
+  (``breaker_open``).  ``FleetStats.lost == 0`` holds with all three
+  switched on.
 * **Cost model** — every routing hop (ω out, full field back) is charged
   to a :class:`~repro.distributed.comm.SimulatedCommunicator`, so the
   fig10-style scaling story extends to serving:
@@ -71,6 +83,7 @@ from .errors import (
 )
 from .hashring import HashRing
 from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
+from .resilience import HedgeTimer
 from .server import PredictionServer, ServerConfig
 
 __all__ = ["FleetConfig", "FleetStats", "Shard", "ShardedFleet"]
@@ -152,6 +165,15 @@ class FleetStats:
     scale_downs: int = 0       # shards drained + retired (retire_shard)
     decommissions: int = 0     # permanently lost shards removed
     reregistrations: int = 0   # (key, shard) re-registrations on moves
+    # Resilience machinery (retry budgets, hedged reads, breakers).
+    # A retry is a *fresh* submit — individually conserved — so none of
+    # these are terms of the conservation law: ``hedged_wins`` is a
+    # subset of ``served``, ``breaker_open`` reorders rather than drops.
+    retried: int = 0           # policy-driven re-submits performed
+    hedges: int = 0            # backup requests issued
+    hedged_wins: int = 0       # served answers that came from a backup
+    hedge_cancels: int = 0     # losing attempts shed after delivery
+    breaker_open: int = 0      # replicas deprioritized by open circuits
     # Summed per-shard ServerStats counters.
     requests: int = 0
     cache_hits: int = 0
@@ -194,7 +216,7 @@ class _RouteState:
     __slots__ = ("model_name", "omega", "resolution", "priority",
                  "deadline_s", "tenant", "replicas", "next_idx", "current",
                  "submitted_at", "attempt_started", "delivered",
-                 "health_retried", "ignore_health")
+                 "health_retried", "ignore_health", "hedged", "inners")
 
     def __init__(self, model_name: str, omega: np.ndarray,
                  resolution: int | None, priority: int | None,
@@ -214,6 +236,8 @@ class _RouteState:
         self.delivered = False                    # on every re-dispatch)
         self.health_retried = False   # one last-resort pass used
         self.ignore_health = False    # last-resort pass: try ejected too
+        self.hedged = False           # a backup dispatch was attempted
+        self.inners: list[Future] = []   # attempts issued (for shedding)
 
 
 class _FleetFuture(Future):
@@ -246,6 +270,14 @@ class ShardedFleet:
         # controller rations submits per tenant.  None = PR-5 behavior.
         self.balancer = None
         self.admission = None
+        # Resilience seams: a retry policy re-submits transient verdicts
+        # under a token-bucket budget; a hedge policy races slow reads
+        # against a backup replica; a circuit breaker deprioritizes
+        # (model, shard) pairs that keep faulting.  None = PR-7 behavior.
+        self.retry = None
+        self.hedge = None
+        self.breaker = None
+        self._hedge_timer: HedgeTimer | None = None
         self.shards: list[Shard] = []
         self._by_id: dict[str, Shard] = {}
         self._retired: list[Shard] = []   # drained / decommissioned
@@ -268,7 +300,8 @@ class ShardedFleet:
             "cancelled", "unavailable", "throttled", "failovers",
             "shard_faults", "hangs", "probes", "readmissions", "spreads",
             "scale_ups", "scale_downs", "decommissions",
-            "reregistrations")}
+            "reregistrations", "retried", "hedges", "hedged_wins",
+            "hedge_cancels", "breaker_open")}
 
     @property
     def _r(self) -> int:
@@ -316,6 +349,10 @@ class ShardedFleet:
             shard.server.stop(drain=drain)
 
     def close(self) -> None:
+        with self._lock:
+            timer, self._hedge_timer = self._hedge_timer, None
+        if timer is not None:
+            timer.close()
         for shard in self.shards:
             shard.server.close()
 
@@ -458,12 +495,31 @@ class ShardedFleet:
                 with self._lock:
                     self._c["spreads"] += 1
             replicas = ordered
+        breaker = self.breaker
+        if breaker is not None and len(replicas) > 1:
+            allowed: list[Shard] = []
+            deflected: list[Shard] = []
+            for candidate in replicas:
+                (allowed if breaker.allow((model_name, candidate.id))
+                 else deflected).append(candidate)
+            if allowed and deflected:
+                # Open circuits go to the back of the line, never out
+                # of it: a breaker deflects load toward replicas that
+                # answer, but must not drop a request — when everything
+                # else faults, the open circuit is still the last
+                # resort and conservation holds.
+                replicas = allowed + deflected
+                with self._lock:
+                    self._c["breaker_open"] += len(deflected)
         state = _RouteState(model_name, omega, resolution, priority,
                             deadline_s, replicas, tenant=tenant)
         out = _FleetFuture(state)
         with self._lock:
             self._c["submitted"] += 1
         self._dispatch(out, state, sync=True)
+        hedge = self.hedge
+        if hedge is not None and len(replicas) > 1 and not out.done():
+            self._arm_hedge(out, hedge)
         return out
 
     def predict(self, model_name: str, omega: np.ndarray,
@@ -479,12 +535,41 @@ class ShardedFleet:
         ejected and the request re-dispatched to the next replica —
         the blocking counterpart of the error-failover ``submit`` does
         asynchronously.  ``timeout`` bounds the overall wait.
+
+        With a retry policy installed (``self.retry``) a transient
+        verdict — :class:`FleetUnavailable`, :class:`ServerOverloaded`,
+        :class:`TenantThrottled` — is re-submitted after the policy's
+        jittered backoff (``retry_after_s`` for throttles), as long as
+        the fleet-wide retry budget grants a token.  Every retry is a
+        fresh submit, so each attempt is individually conserved and
+        ``retried`` counts the extras.
         """
-        return self.await_result(
-            self.submit(model_name, omega, resolution,
-                        priority=priority, deadline_s=deadline_s,
-                        tenant=tenant),
-            timeout)
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                return self.await_result(
+                    self.submit(model_name, omega, resolution,
+                                priority=priority, deadline_s=deadline_s,
+                                tenant=tenant),
+                    timeout)
+            except Exception as exc:
+                if policy is None:
+                    raise
+                delay = policy.plan(exc, attempt)
+                if delay is None:
+                    raise
+                attempt += 1
+                self.note_retry()
+                if delay > 0:
+                    time.sleep(delay)
+
+    def note_retry(self) -> None:
+        """Count one policy-driven re-submit.  Retrying front-ends (the
+        blocking ``predict``, the asyncio facade, the replay harness)
+        all report here so ``FleetStats.retried`` covers every path."""
+        with self._lock:
+            self._c["retried"] += 1
 
     def await_result(self, future: Future, timeout: float | None = None):
         """``future.result`` with hang failover for fleet futures.
@@ -544,6 +629,7 @@ class ShardedFleet:
         self._eject(hung, TimeoutError(
             f"shard {hung.id} did not answer within "
             f"shard_timeout_s={budget}"), hang=True)
+        self._breaker_failure(state.model_name, hung)
         with self._lock:
             if state.delivered:
                 return False
@@ -630,9 +716,12 @@ class ShardedFleet:
                 return
             except Exception as exc:
                 self._eject(shard, exc)
+                self._breaker_failure(state.model_name, shard)
                 with self._lock:
                     self._c["failovers"] += 1
                 continue
+            with self._lock:
+                state.inners.append(inner)
             inner.add_done_callback(
                 lambda f, shard=shard: self._on_done(out, state, shard, f))
             return
@@ -652,6 +741,7 @@ class ShardedFleet:
                 # shard serving from the ignore-health last-resort pass
                 # (ejected on a false hang) re-admits itself.
                 self._readmit(shard)
+                self._breaker_success(state.model_name, shard)
             return
         if isinstance(exc, ServerOverloaded):
             self._deliver(out, state, exc=exc, counter="rejected")
@@ -665,8 +755,20 @@ class ShardedFleet:
         if isinstance(exc, (ServeError, ValueError, RegistryError)):
             self._deliver(out, state, exc=exc, counter="errors")
             return
-        # Anything else is the shard's fault, not the request's.
-        self._eject(shard, exc)
+        if isinstance(exc, CancelledError):
+            # A cancelled attempt is nobody's fault: hedge racing sheds
+            # the losing inner future after the answer landed, and
+            # ejecting the loser would punish a healthy replica for
+            # being second.  An *undelivered* cancelled attempt (a
+            # caller reached into the inner future) still fails over
+            # below so the request is not lost — just without ejecting.
+            with self._lock:
+                if state.delivered:
+                    return
+        else:
+            # Anything else is the shard's fault, not the request's.
+            self._eject(shard, exc)
+            self._breaker_failure(state.model_name, shard)
         with self._lock:
             if state.delivered or state.current is not shard:
                 # A newer attempt owns this request (hang failover
@@ -694,6 +796,7 @@ class ShardedFleet:
             live = out.set_running_or_notify_cancel()
         except InvalidStateError:  # pragma: no cover - delivered guards this
             return False
+        latency = None
         with self._lock:
             self._c[counter if live else "cancelled"] += 1
             if live and exc is None:
@@ -701,8 +804,8 @@ class ShardedFleet:
                 # a request that burned shard_timeout_s on a hung
                 # primary must report that wait, not just the replica's
                 # service time.
-                self._latencies.append(
-                    time.monotonic() - state.submitted_at)
+                latency = time.monotonic() - state.submitted_at
+                self._latencies.append(latency)
                 if len(self._latencies) > _LAT_WINDOW:
                     del self._latencies[:len(self._latencies) - _LAT_WINDOW]
         if live:
@@ -710,7 +813,132 @@ class ShardedFleet:
                 out.set_exception(exc)
             else:
                 out.set_result(result)
+        hedge = self.hedge
+        if hedge is not None and latency is not None:
+            hedge.observe(latency)
+        if state.hedged:
+            self._cancel_stragglers(state)
         return live
+
+    # ------------------------------------------------------------------ #
+    # Hedged reads + circuit-breaker bookkeeping
+    # ------------------------------------------------------------------ #
+    def _arm_hedge(self, out: "_FleetFuture", hedge) -> None:
+        """Schedule a backup dispatch at now + the policy's tracked
+        quantile delay (the timer thread is created lazily)."""
+        with self._lock:
+            timer = self._hedge_timer
+            if timer is None:
+                timer = self._hedge_timer = HedgeTimer()
+        timer.schedule(time.monotonic() + hedge.delay_s(),
+                       lambda: self.hedge_dispatch(out))
+
+    def hedge_dispatch(self, future: Future) -> bool:
+        """Issue one backup request for a still-pending fleet read.
+
+        The hedge policy's dispatch primitive: the timer calls it after
+        the quantile delay elapses, and deterministic tests call it
+        directly.  Picks the first healthy replica that is not the
+        current owner (skipping open circuits), charges the routing
+        hop, and races the backup against the primary — the delivered
+        -guard in ``_deliver`` makes the race safe: first answer wins,
+        exactly one outcome is counted, the loser is cancelled.
+        Returns ``True`` when a backup was actually issued.
+        """
+        state = getattr(future, "state", None)
+        hedge = self.hedge
+        if state is None or hedge is None or future.done():
+            return False
+        with self._lock:
+            if state.delivered or state.hedged or state.current is None:
+                return False
+            state.hedged = True
+            primary = state.current
+            candidates = [s for s in state.replicas
+                          if s.healthy and s is not primary]
+        breaker = self.breaker
+        for shard in candidates:
+            if breaker is not None and not breaker.allow(
+                    (state.model_name, shard.id)):
+                continue
+            self._comm.send(state.omega.nbytes)   # routing hop: ω out
+            try:
+                inner = shard.server.submit(
+                    state.model_name, state.omega, state.resolution,
+                    priority=state.priority, deadline_s=state.deadline_s,
+                    tenant=state.tenant)
+            except (ServerOverloaded, TenantThrottled, ValueError,
+                    RegistryError, ServeError):
+                continue     # policy verdicts: the primary decides
+            except Exception as exc:
+                self._eject(shard, exc)
+                self._breaker_failure(state.model_name, shard)
+                continue
+            with self._lock:
+                self._c["hedges"] += 1
+                state.inners.append(inner)
+            hedge.record_hedge()
+            inner.add_done_callback(
+                lambda f, shard=shard: self._on_hedge_done(
+                    future, state, shard, f))
+            return True
+        return False
+
+    def _on_hedge_done(self, out: Future, state: _RouteState,
+                       shard: Shard, inner: Future) -> None:
+        """Classify a backup answer: first answer wins, losing or
+        policy-rejected backups stay silent (the primary attempt still
+        owns the request — a hedge must never *cause* a failure), and
+        a backup shard fault ejects without re-dispatching."""
+        try:
+            exc = inner.exception()
+        except CancelledError:
+            return                       # shed straggler: already won
+        if exc is None:
+            value = inner.result()
+            if self._deliver(out, state, result=value, counter="served"):
+                with self._lock:
+                    self._c["hedged_wins"] += 1
+                hedge = self.hedge
+                if hedge is not None:
+                    hedge.record_win()
+                self._comm.send(value.nbytes)     # response hop
+                self._readmit(shard)
+                self._breaker_success(state.model_name, shard)
+            return
+        if isinstance(exc, (CancelledError, ServerOverloaded,
+                            TenantThrottled, DeadlineExceeded, ServeError,
+                            ValueError, RegistryError)):
+            return
+        self._eject(shard, exc)
+        self._breaker_failure(state.model_name, shard)
+
+    def _cancel_stragglers(self, state: _RouteState) -> None:
+        """Cancel every unfinished attempt of a resolved hedge race.
+
+        Queued losers are shed before they burn a worker slot (counted
+        ``hedge_cancels``); already-running ones finish and bounce off
+        the delivered-guard.
+        """
+        with self._lock:
+            pending = [f for f in state.inners if not f.done()]
+        hedge = self.hedge
+        for inner in pending:
+            if inner.cancel():
+                with self._lock:
+                    self._c["hedge_cancels"] += 1
+                if hedge is not None:
+                    hedge.record_cancel()
+
+    def _breaker_success(self, model_name: str, shard: Shard) -> None:
+        breaker = self.breaker
+        if breaker is not None:
+            breaker.record_success((model_name, shard.id))
+
+    def _breaker_failure(self, model_name: str, shard: Shard) -> None:
+        breaker = self.breaker
+        if breaker is not None:
+            breaker.record_failure((model_name, shard.id))
 
     # ------------------------------------------------------------------ #
     # Health

@@ -83,12 +83,20 @@ class SpillLedger:
                 fh.close()
 
     def _load(self) -> dict:
-        """Read the ledger (lock held); rebuild from a scan if unusable."""
+        """Read the ledger (lock held); rebuild from a scan if unusable.
+
+        Validation is per entry, not just structural: a ledger that
+        parses as JSON can still carry garbage values (a torn write
+        spliced with an older generation, a corrupted filesystem, a
+        hand-edited file), and trusting them would crash eviction or
+        mis-account the byte budget.  Anything malformed falls through
+        to the rebuild-from-scan path, which is always truthful: sizes
+        come from ``stat`` and recency from mtime order.
+        """
         try:
             with open(self._ledger_path, "r", encoding="utf-8") as fh:
                 state = json.load(fh)
-            if (isinstance(state, dict) and state.get("version") == _VERSION
-                    and isinstance(state.get("files"), dict)):
+            if self._valid(state):
                 return state
         except (OSError, ValueError):
             pass
@@ -105,6 +113,26 @@ class SpillLedger:
             clock += 1
             files[path.name] = [int(st.st_size), clock]
         return {"version": _VERSION, "clock": clock, "files": files}
+
+    @staticmethod
+    def _valid(state) -> bool:
+        """A usable ledger: right version, integer clock, and every
+        files entry a [size, stamp] pair of non-negative ints."""
+        if not (isinstance(state, dict) and state.get("version") == _VERSION
+                and isinstance(state.get("files"), dict)):
+            return False
+        clock = state.get("clock")
+        if not isinstance(clock, int) or isinstance(clock, bool):
+            return False
+        for name, entry in state["files"].items():
+            if not isinstance(name, str):
+                return False
+            if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+                return False
+            if not all(isinstance(v, int) and not isinstance(v, bool)
+                       and v >= 0 for v in entry):
+                return False
+        return True
 
     def _save(self, state: dict) -> None:
         tmp = self._ledger_path.with_suffix(f".{os.getpid()}.tmp")

@@ -195,7 +195,7 @@ class TestHealthProber:
         fleet = _StubFleet(["a", "b"])
         fleet.shards[0].healthy = False
         prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=8.0,
-                              probe_timeout_s=0.5)
+                              probe_timeout_s=0.5, jitter=0.0)
         # Failing probes: immediately, then +1, +2, +4, +8, +8, ... s.
         assert prober.tick(now=0.0) == ["a"]
         assert prober.next_probe_at("a") == pytest.approx(1.0)
@@ -215,7 +215,8 @@ class TestHealthProber:
     def test_successful_probe_readmits_and_resets_schedule(self):
         fleet = _StubFleet(["a"], probe_results={"a": False})
         fleet.shards[0].healthy = False
-        prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=8.0)
+        prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=8.0,
+                              jitter=0.0)
         prober.tick(now=0.0)
         prober.tick(now=1.0)
         fleet.probe_results["a"] = True          # shard recovers
@@ -231,7 +232,7 @@ class TestHealthProber:
         fleet = _StubFleet(["a", "b", "c"])
         fleet.shards[0].healthy = False
         prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=1.0,
-                              permanent_after=3)
+                              permanent_after=3, jitter=0.0)
         now = 0.0
         for _ in range(3):
             prober.tick(now=now)
@@ -247,7 +248,7 @@ class TestHealthProber:
         fleet = _StubFleet(["only"])
         fleet.shards[0].healthy = False
         prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=1.0,
-                              permanent_after=2)
+                              permanent_after=2, jitter=0.0)
         for k in range(6):
             prober.tick(now=float(k))
         assert fleet.decommissioned == []
@@ -261,6 +262,61 @@ class TestHealthProber:
             HealthProber(fleet, base_backoff_s=2.0, max_backoff_s=1.0)
         with pytest.raises(ValueError):
             HealthProber(fleet, permanent_after=0)
+        with pytest.raises(ValueError):
+            HealthProber(fleet, jitter=-0.1)
+        with pytest.raises(ValueError):
+            HealthProber(fleet, jitter=1.5)
+
+
+class TestProberJitter:
+    """Full-jittered backoff de-synchronizes correlated ejections."""
+
+    def test_simultaneous_ejections_get_distinct_schedules(self):
+        """Shards ejected by one event must not probe in lockstep: with
+        jitter on, every next_probe_at in the cohort differs."""
+        ids = [f"s{i}" for i in range(6)]
+        fleet = _StubFleet(ids)
+        for shard in fleet.shards:
+            shard.healthy = False           # one correlated mass-eject
+        prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=8.0,
+                              jitter=1.0, seed=3)
+        assert prober.tick(now=0.0) == ids  # first probes are immediate
+        nexts = [prober.next_probe_at(sid) for sid in ids]
+        assert len(set(nexts)) == len(ids)
+        # Full jitter stays inside the window: (0, base * 2^0] here.
+        assert all(0.0 < t <= 1.0 for t in nexts)
+
+    def test_partial_jitter_keeps_floor(self):
+        fleet = _StubFleet(["a"])
+        fleet.shards[0].healthy = False
+        prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=8.0,
+                              jitter=0.25, seed=0)
+        prober.tick(now=0.0)
+        assert 0.75 <= prober.next_probe_at("a") <= 1.0
+
+    def test_jittered_schedule_is_deterministic_per_seed(self):
+        def schedule(seed):
+            fleet = _StubFleet(["a", "b", "c"])
+            for shard in fleet.shards:
+                shard.healthy = False
+            prober = HealthProber(fleet, base_backoff_s=1.0,
+                                  max_backoff_s=8.0, jitter=1.0, seed=seed)
+            out = []
+            for k in range(4):
+                prober.tick(now=float(10 * k))   # past any backoff
+                out.extend(prober.next_probe_at(s) for s in ("a", "b", "c"))
+            return out
+
+        assert schedule(5) == schedule(5)
+        assert schedule(5) != schedule(6)
+
+    def test_zero_jitter_reproduces_exact_schedule(self):
+        fleet = _StubFleet(["a"])
+        fleet.shards[0].healthy = False
+        prober = HealthProber(fleet, base_backoff_s=1.0, max_backoff_s=8.0,
+                              jitter=0.0, seed=123)
+        prober.tick(now=0.0)
+        assert prober.next_probe_at("a") == pytest.approx(1.0)
 
 
 # --------------------------------------------------------------------- #
@@ -619,7 +675,7 @@ class TestControlPlane:
         clock = _ForgedClock()
         plane = ControlPlane(fleet, ControlConfig(
             probe_base_backoff_s=1.0, probe_max_backoff_s=4.0,
-            probe_timeout_s=5.0), clock=clock)
+            probe_timeout_s=5.0, probe_jitter=0.0), clock=clock)
         victim = next(s for s in fleet.shards
                       if s.id == fleet.replicas_for("m")[0])
         # Break the shard's submit so probes genuinely fail.

@@ -77,6 +77,75 @@ class TestSpillLedger:
         assert ledger.snapshot() == {"old.npz": 100}
 
 
+class TestLedgerCorruption:
+    """Garbage that *parses* as JSON must self-heal the same way a torn
+    write does: rebuild from a directory scan, never crash eviction,
+    never let the directory exceed the byte budget."""
+
+    CASES = [
+        # Structurally valid JSON, garbage content.
+        '{"version": 1, "clock": 3, "files": {"a.npz": "junk"}}',
+        '{"version": 1, "clock": 3, "files": {"a.npz": [100]}}',
+        '{"version": 1, "clock": 3, "files": {"a.npz": [100, 1, 7]}}',
+        '{"version": 1, "clock": 3, "files": {"a.npz": ["100", 1]}}',
+        '{"version": 1, "clock": 3, "files": {"a.npz": [-5, 1]}}',
+        '{"version": 1, "clock": 3, "files": {"a.npz": [true, 1]}}',
+        '{"version": 1, "clock": 3, "files": {"a.npz": null}}',
+        '{"version": 1, "clock": "3", "files": {}}',
+        '{"version": 1, "clock": true, "files": {}}',
+        '{"version": 1, "files": {}}',
+        '{"version": 99, "clock": 0, "files": {}}',
+        '{"version": 1, "clock": 0, "files": []}',
+        '[1, 2, 3]',
+        'null',
+        '',
+    ]
+
+    @pytest.mark.parametrize("blob", CASES)
+    def test_garbage_ledger_self_heals(self, tmp_path, blob):
+        (tmp_path / "real.npz").write_bytes(b"x" * 100)
+        (tmp_path / LEDGER_NAME).write_text(blob)
+        ledger = SpillLedger(tmp_path, max_bytes=1000)
+        # Scan rebuild: the real on-disk file is re-adopted with its
+        # stat size; the garbage entry names nothing and vanishes.
+        assert ledger.snapshot() == {"real.npz": 100}
+
+    @pytest.mark.parametrize("blob", CASES)
+    def test_budget_invariant_survives_heal(self, tmp_path, blob):
+        for i in range(4):
+            (tmp_path / f"f{i}.npz").write_bytes(b"x" * 100)
+        (tmp_path / LEDGER_NAME).write_text(blob)
+        ledger = SpillLedger(tmp_path, max_bytes=250)
+        evicted, total = ledger.ensure_budget()
+        assert total <= 250
+        assert _disk_total(tmp_path) <= 250
+        assert len(evicted) == 2
+
+    def test_garbage_entry_does_not_crash_record_use(self, tmp_path):
+        # Regression: _evict unpacks every entry as (size, stamp); a
+        # pre-validation ledger let {"a.npz": "junk"} reach that loop.
+        (tmp_path / LEDGER_NAME).write_text(
+            '{"version": 1, "clock": 1, "files": {"a.npz": "junk"}}')
+        ledger = SpillLedger(tmp_path, max_bytes=250)
+        (tmp_path / "b.npz").write_bytes(b"x" * 100)
+        evicted, total = ledger.record_use("b.npz", 100)
+        assert evicted == [] and total == 100
+
+    def test_cache_recovers_through_corrupt_ledger(self, tmp_path):
+        a = _mk(tmp_path)
+        for i in range(3):
+            a.put(("v1", "sig", i), VALUE)
+        (tmp_path / LEDGER_NAME).write_text(
+            '{"version": 1, "clock": 9, "files": {"x.npz": [1, 2, 3]}}')
+        b = _mk(tmp_path)
+        for i in range(10, 16):
+            b.put(("v1", "sig", i), VALUE)
+        assert _disk_total(tmp_path) <= BUDGET
+        # The healed ledger still serves spill hits for surviving keys.
+        fresh = _mk(tmp_path)
+        assert fresh.get(("v1", "sig", 15)) is not None
+
+
 class TestSharedSpillCache:
     def test_shared_budget_across_instances(self, tmp_path):
         a, b = _mk(tmp_path), _mk(tmp_path)

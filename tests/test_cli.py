@@ -252,3 +252,45 @@ class TestServeFleet:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["serve", "--checkpoint", "x.npz",
                                            flag, "0"])
+
+
+class TestServeResilience:
+    def test_full_resilience_stack_over_fleet(self, trained_checkpoint,
+                                              capsys):
+        assert main(["serve", "--checkpoint", f"demo={trained_checkpoint}",
+                     "--requests", "8", "--shards", "3", "--replicas", "2",
+                     "--retries", "2", "--retry-budget", "4:8",
+                     "--hedge", "--breaker-after", "3",
+                     "--breaker-reset", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "served 8 of 8 requests" in out
+        assert "lost: 0" in out
+        assert "resilience:" in out              # the policy counters line
+        assert "breaker deflections" in out
+
+    def test_hedge_flag_defaults_its_quantile(self, trained_checkpoint,
+                                              capsys):
+        # Bare --hedge (no value) installs the policy at the default
+        # p95; no retry/breaker flags means those seams stay empty.
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--requests", "4", "--shards", "2",
+                     "--hedge"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience: 0 retried" in out
+
+    def test_bad_hedge_quantile_fails_cleanly(self, trained_checkpoint,
+                                              capsys):
+        assert main(["serve", "--checkpoint", str(trained_checkpoint),
+                     "--shards", "2", "--hedge", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_retry_budget_rejected_by_parser(self):
+        for bad in ("0:5", "4:0.5", "nope"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", "--checkpoint", "x.npz",
+                                           "--retry-budget", bad])
+
+    def test_predict_retries_flag(self, trained_checkpoint, capsys):
+        assert main(["predict", "--checkpoint", str(trained_checkpoint),
+                     "--retries", "2"]) == 0
+        assert capsys.readouterr().out
