@@ -130,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "candidates once and persists the winner per host")
     p.add_argument("--halo", type=int, default=None,
                    help="halo width for --tile (default: receptive field)")
+    p.add_argument("--stream", action="store_true",
+                   help="stream tile cores as they complete (tiled path; "
+                        "honours --tile/--halo/--executor) and report "
+                        "first-tile vs full-field latency")
     p.add_argument("--executor", default="serial",
                    choices=("serial", "thread", "process"),
                    help="fan tiled inference across this worker pool")
@@ -324,7 +328,10 @@ def _cmd_predict(args) -> int:
 
     from .backend import set_conv_plan_mode
     from .core.metrics import compare_fields
-    from .serve import ModelRegistry, RegistryError, make_executor, tiled_predict
+    from .serve import (
+        ModelRegistry, RegistryError, make_executor, stream_tiled_predict,
+        tiled_predict,
+    )
 
     if args.autotune:
         set_conv_plan_mode("autotune")
@@ -352,7 +359,34 @@ def _cmd_predict(args) -> int:
         attempt = 0
         while True:
             try:
-                if args.tile is not None or args.halo is not None:
+                if args.stream:
+                    # Progressive delivery: assemble tile cores as the
+                    # pool completes them.  The gap between the two
+                    # latencies below is the streaming win — a consumer
+                    # (renderer, outer solver loop) starts on the first
+                    # core while the rest are still computing.
+                    grid_shape = problem.grid(resolution).shape
+                    out = None
+                    n_tiles = 0
+                    first_s = None
+                    t_start = time.perf_counter()
+                    for _, sl, core in stream_tiled_predict(
+                            model, problem, args.omega,
+                            resolution=resolution, tile=args.tile,
+                            halo=args.halo, executor=executor):
+                        if first_s is None:
+                            first_s = time.perf_counter() - t_start
+                        if out is None:
+                            out = np.empty((core.shape[0],) + grid_shape,
+                                           dtype=core.dtype)
+                        out[(slice(None),) + sl] = core
+                        n_tiles += 1
+                    full_s = time.perf_counter() - t_start
+                    u = out[0]
+                    print(f"streamed {n_tiles} tiles: first tile in "
+                          f"{first_s * 1e3:.1f} ms, full field in "
+                          f"{full_s * 1e3:.1f} ms")
+                elif args.tile is not None or args.halo is not None:
                     u = tiled_predict(model, problem, args.omega,
                                       resolution=resolution,
                                       tile=args.tile, halo=args.halo,

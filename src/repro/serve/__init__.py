@@ -29,7 +29,13 @@ FEM solve.  This package is the infrastructure realizing that claim:
   envelopes, coordinated fault schedules) replayed against a live
   fleet with byte-identical event logs per seed;
 * :func:`tiled_predict` — exact full-field inference on grids too large
-  for one forward pass, via ``2**depth``-aligned halo-padded tiles.
+  for one forward pass, via ``2**depth``-aligned halo-padded tiles;
+* streaming tiled inference — :func:`stream_tiled_predict` yields tile
+  cores as they complete, :meth:`PredictionServer.submit_stream` routes
+  them through the priority/deadline/backpressure machinery
+  (:class:`TileStream`), :meth:`AsyncPredictionServer.stream` is the
+  ``async for`` face, and :meth:`ShardedFleet.stream` fails over
+  mid-stream without re-sending delivered tiles.
 
 Quickstart::
 
@@ -72,10 +78,13 @@ from .resilience import (
     ResilienceConfig, RetryConfig, RetryPolicy, install_resilience,
     uninstall_resilience,
 )
-from .server import PredictionServer, ServerConfig, ServerStats
+from .server import (
+    PredictionServer, ServerConfig, ServerStats, StreamStalled, TileStream,
+)
 from .spill_ledger import SpillLedger
 from .tiling import (
-    TilePlan, autotune_tile, plan_tiles, receptive_halo, tile_candidates,
+    TilePlan, autotune_tile, plan_tiles, receptive_halo,
+    stream_tiled_forward, stream_tiled_predict, tile_candidates,
     tiled_forward, tiled_predict,
 )
 
@@ -99,7 +108,9 @@ __all__ = [
     "Scenario", "TraceEvent", "VirtualClock", "ReplayHarness",
     "ReplayReport", "build_trace", "event_log", "load_scenario",
     "ModelEntry", "ModelRegistry", "RegistryError", "state_version",
-    "PredictionServer", "ServerConfig", "ServerStats",
+    "PredictionServer", "ServerConfig", "ServerStats", "TileStream",
+    "StreamStalled",
     "TilePlan", "plan_tiles", "receptive_halo", "tile_candidates",
     "autotune_tile", "tiled_forward", "tiled_predict",
+    "stream_tiled_forward", "stream_tiled_predict",
 ]

@@ -191,6 +191,58 @@ class AsyncPredictionServer:
                 if delay > 0:
                     await asyncio.sleep(delay)
 
+    async def stream(self, model_name: str, omega: np.ndarray,
+                     resolution: int | None = None, *,
+                     priority: int | None = None,
+                     deadline_s: float | None = None,
+                     tenant: str | None = None,
+                     buffer_tiles: int = 2):
+        """Async iterator of ``(tile_index, core_slices, core)`` records.
+
+        The asyncio face of streaming tiled inference::
+
+            async for i, sl, core in aserver.stream("m", omega):
+                out[sl] = core          # progressive assembly
+
+        Each record is pulled off-loop (``run_in_executor``), so tile
+        compute and buffer waits never block the event loop.  The
+        per-stream buffer is bounded (``buffer_tiles``): a coroutine
+        that consumes slowly backpressures the producing worker instead
+        of accumulating tiles.  Backend errors — per-tile
+        :class:`~repro.serve.errors.DeadlineExceeded` (carrying
+        ``tiles_delivered``), ``ServerOverloaded``, fleet verdicts —
+        surface through the iterator.  Exiting the ``async for`` early
+        closes the stream and releases the producer.
+        """
+        loop = asyncio.get_running_loop()
+        # A fleet streams with mid-stream failover; a bare server with
+        # submit_stream.  Both return an iterator of tile records.
+        open_stream = getattr(self.server, "stream", None) \
+            or self.server.submit_stream
+        source = await loop.run_in_executor(None, lambda: open_stream(
+            model_name, omega, resolution, priority=priority,
+            deadline_s=deadline_s, tenant=tenant,
+            buffer_tiles=buffer_tiles))
+        it = iter(source)
+        done = object()   # StopIteration cannot cross run_in_executor
+
+        def _next():
+            try:
+                return next(it)
+            except StopIteration:
+                return done
+
+        try:
+            while True:
+                record = await loop.run_in_executor(None, _next)
+                if record is done:
+                    return
+                yield record
+        finally:
+            close = getattr(source, "close", None)
+            if close is not None:
+                await loop.run_in_executor(None, close)
+
     async def predict_many(self, model_name: str, omegas: np.ndarray,
                            resolution: int | None = None, *,
                            priority: int | None = None,

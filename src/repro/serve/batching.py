@@ -74,9 +74,19 @@ class PredictRequest:
     deadline_s: float | None = None   # latency budget granted at submit
     expires_at: float | None = None   # absolute perf_counter expiry
     tenant: str | None = None         # admission-control accounting key
+    stream: Any = None        # TileStream sink: set iff this request
+    #                           streams tile records instead of resolving
+    #                           one fused field (see server.submit_stream)
 
     def group_key(self) -> tuple:
-        """Requests sharing this key may run in one fused forward."""
+        """Requests sharing this key may run in one fused forward.
+
+        A streaming request can never fuse — its result is a sequence of
+        tile records, not a slot in a stacked batch — so it gets a key
+        unique to itself and always forms a singleton group.
+        """
+        if self.stream is not None:
+            return (self.model_name, self.resolution, id(self))
         return (self.model_name, self.resolution)
 
     def expired(self, now: float | None = None) -> bool:

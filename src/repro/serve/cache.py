@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -76,6 +77,26 @@ def result_key(model_version: str, problem_sig: tuple,
     """Canonical cache key for one prediction request."""
     return (model_version, problem_sig, int(resolution),
             quantize_omega(omega, step))
+
+
+# Spill recency is persisted via file mtimes (restart re-seeds the LRU
+# order from an mtime sort).  A bare ``os.utime(path)`` stamps the
+# *current clock*, whose effective resolution on some filesystems is a
+# whole second — two files touched inside one tick tie, and the restart
+# sort breaks the tie by directory order, i.e. arbitrarily.  Stamping an
+# explicit, process-wide strictly-increasing nanosecond count makes the
+# persisted order total: later touch ⇒ strictly larger mtime, always.
+_touch_lock = threading.Lock()
+_last_touch_ns = 0
+
+
+def _touch_monotonic(path: Path | str) -> None:
+    """``os.utime`` with a strictly increasing nanosecond timestamp."""
+    global _last_touch_ns
+    with _touch_lock:
+        _last_touch_ns = max(time.time_ns(), _last_touch_ns + 1)
+        ns = _last_touch_ns
+    os.utime(path, ns=(ns, ns))
 
 
 def spill_file_name(key: tuple) -> str:
@@ -151,8 +172,11 @@ class LRUCache:
         self.stats = CacheStats()
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
+            # st_mtime_ns, not st_mtime: the float-seconds view rounds
+            # away the nanosecond stamps _touch_monotonic writes, which
+            # would reintroduce exactly the ties it exists to break.
             for path in sorted(self.spill_dir.glob("*.npz"),
-                               key=lambda p: p.stat().st_mtime):
+                               key=lambda p: p.stat().st_mtime_ns):
                 self._spill_files[path.name] = path.stat().st_size
             if self._ledger is not None:
                 evicted, total = self._ledger.ensure_budget()
@@ -242,6 +266,10 @@ class LRUCache:
         try:
             np.savez(tmp, value=np.ascontiguousarray(value))
             os.replace(tmp, path)
+            # A fresh write is this entry's first use: stamp it into the
+            # same strictly-increasing recency order as touches, so two
+            # writes landing inside one filesystem-mtime tick cannot tie.
+            _touch_monotonic(path)
             size = path.stat().st_size
         except OSError:
             tmp.unlink(missing_ok=True)
@@ -258,7 +286,7 @@ class LRUCache:
     def _touch_spill(self, path: Path) -> None:
         """Move a spill file to most-recently-used (persisted via mtime)."""
         try:
-            os.utime(path)
+            _touch_monotonic(path)
             size = path.stat().st_size
         except OSError:
             return

@@ -39,18 +39,28 @@ class DeadlineExceeded(ServeError, TimeoutError):
     compute was *never started*, so an expired request costs the server
     only its queue slot.  Also a :class:`TimeoutError`, so generic
     timeout handling in clients catches it.
+
+    A *streaming* request can expire mid-delivery: ``tiles_delivered``
+    then counts the tile records the consumer already received, so a
+    progressive client knows exactly how much of the field it holds.
     """
 
     def __init__(self, model_name: str, key: tuple | None,
-                 deadline_s: float, waited_s: float) -> None:
+                 deadline_s: float, waited_s: float,
+                 tiles_delivered: int | None = None) -> None:
         self.model_name = model_name
         self.key_digest = _key_digest(key)
         self.deadline_s = float(deadline_s)
         self.waited_s = float(waited_s)
+        self.tiles_delivered = (
+            None if tiles_delivered is None else int(tiles_delivered))
+        suffix = ("" if self.tiles_delivered is None else
+                  f" ({self.tiles_delivered} stream tiles delivered)")
         super().__init__(
             f"request {self.key_digest} for model {model_name!r} expired: "
             f"waited {waited_s * 1e3:.1f} ms against a deadline of "
-            f"{deadline_s * 1e3:.1f} ms without entering a fused forward")
+            f"{deadline_s * 1e3:.1f} ms without entering a fused forward"
+            + suffix)
 
 
 class ServerOverloaded(ServeError):

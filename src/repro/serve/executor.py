@@ -31,7 +31,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 import numpy as np
 
@@ -62,6 +62,18 @@ class Executor:
     def map(self, fn, items) -> list:
         """Apply ``fn`` to every item; results in input order."""
         raise NotImplementedError
+
+    def imap_unordered(self, fn, items):
+        """Yield ``(index, fn(item))`` pairs in *completion* order.
+
+        ``index`` is the item's position in the input iterable, so a
+        caller that needs positional identity (e.g. which tile a result
+        belongs to) recovers it regardless of which worker finished
+        first.  The serial implementation is lazy and in input order;
+        parallel executors submit everything and yield as results land.
+        """
+        for i, item in enumerate(items):
+            yield i, fn(item)
 
     def warm(self) -> None:
         """Create worker resources now instead of on first ``map``.
@@ -132,6 +144,15 @@ class ThreadExecutor(Executor):
             return []
         return list(self._ensure_pool().map(fn, items))
 
+    def imap_unordered(self, fn, items):
+        items = list(items)
+        if not items:
+            return
+        pool = self._ensure_pool()
+        futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        for fut in as_completed(futures):
+            yield futures[fut], fut.result()
+
     def warm(self) -> None:
         self._ensure_pool()
 
@@ -200,6 +221,14 @@ class ProcessExecutor(Executor):
         # forward each); load balance beats batched dispatch.
         return self._ensure_pool().map(fn, items, chunksize=1)
 
+    def imap_unordered(self, fn, items):
+        items = list(items)
+        if not items:
+            return
+        pool = self._ensure_pool()
+        payloads = [(fn, i, item) for i, item in enumerate(items)]
+        yield from pool.imap_unordered(_indexed_call, payloads, chunksize=1)
+
     def warm(self) -> None:
         self._ensure_pool()
 
@@ -223,6 +252,16 @@ def make_executor(kind: str, workers: int | None = None,
         return ProcessExecutor(workers, backend=backend, dtype=dtype)
     raise ValueError(
         f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
+
+
+def _indexed_call(payload):
+    """Module-level shim for the process ``imap_unordered`` path.
+
+    ``fn`` must itself be module level (picklable); the index rides along
+    so completion-order results keep their positional identity.
+    """
+    fn, index, item = payload
+    return index, fn(item)
 
 
 # --------------------------------------------------------------------- #

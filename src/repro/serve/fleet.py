@@ -84,7 +84,7 @@ from .errors import (
 from .hashring import HashRing
 from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
 from .resilience import HedgeTimer
-from .server import PredictionServer, ServerConfig
+from .server import PredictionServer, ServerConfig, StreamStalled
 
 __all__ = ["FleetConfig", "FleetStats", "Shard", "ShardedFleet"]
 
@@ -174,6 +174,14 @@ class FleetStats:
     hedged_wins: int = 0       # served answers that came from a backup
     hedge_cancels: int = 0     # losing attempts shed after delivery
     breaker_open: int = 0      # replicas deprioritized by open circuits
+    # Streaming reads.  A stream is one submit and ends in exactly one
+    # conservation-law term like any other request; these count its
+    # progress: tile records handed to the consumer (each delivered at
+    # most once, across failovers) and mid-stream resumes on a
+    # replacement replica.
+    streams: int = 0           # streaming submits accepted
+    stream_tiles_delivered: int = 0
+    stream_resumed: int = 0    # mid-stream failovers that resumed
     # Summed per-shard ServerStats counters.
     requests: int = 0
     cache_hits: int = 0
@@ -301,7 +309,8 @@ class ShardedFleet:
             "shard_faults", "hangs", "probes", "readmissions", "spreads",
             "scale_ups", "scale_downs", "decommissions",
             "reregistrations", "retried", "hedges", "hedged_wins",
-            "hedge_cancels", "breaker_open")}
+            "hedge_cancels", "breaker_open", "streams",
+            "stream_tiles_delivered", "stream_resumed")}
 
     @property
     def _r(self) -> int:
@@ -488,6 +497,22 @@ class ShardedFleet:
                 raise TenantThrottled(model_name, tenant, retry_after,
                                       rate=quota.rate, burst=quota.burst)
         _, replicas = self._route(model_name)
+        replicas = self._order_replicas(model_name, replicas)
+        state = _RouteState(model_name, omega, resolution, priority,
+                            deadline_s, replicas, tenant=tenant)
+        out = _FleetFuture(state)
+        with self._lock:
+            self._c["submitted"] += 1
+        self._dispatch(out, state, sync=True)
+        hedge = self.hedge
+        if hedge is not None and len(replicas) > 1 and not out.done():
+            self._arm_hedge(out, hedge)
+        return out
+
+    def _order_replicas(self, model_name: str,
+                        replicas: list[Shard]) -> list[Shard]:
+        """Apply the balancer (p2c spread) and breaker (open circuits to
+        the back of the line, never out of it) to a read's replica set."""
         balancer = self.balancer
         if balancer is not None and len(replicas) > 1:
             ordered = balancer.order(replicas)
@@ -511,16 +536,191 @@ class ShardedFleet:
                 replicas = allowed + deflected
                 with self._lock:
                     self._c["breaker_open"] += len(deflected)
-        state = _RouteState(model_name, omega, resolution, priority,
-                            deadline_s, replicas, tenant=tenant)
-        out = _FleetFuture(state)
+        return replicas
+
+    def stream(self, model_name: str, omega: np.ndarray,
+               resolution: int | None = None, *,
+               priority: int | None = None,
+               deadline_s: float | None = None,
+               tenant: str | None = None,
+               tiles=None, buffer_tiles: int = 2):
+        """Routed streaming read: a generator of ``(tile_index,
+        core_slices, core)`` records with *mid-stream* failover.
+
+        Tiles the consumer already holds are never re-sent: the first
+        replica fixes the tile-index set, and when a shard faults or
+        stalls past ``shard_timeout_s`` mid-stream, the replacement
+        replica is asked for exactly the undelivered subset
+        (``submit_stream(..., tiles=...)``) — counted ``stream_resumed``
+        — while every record handed out increments
+        ``stream_tiles_delivered`` and charges the per-tile response hop
+        to the comm model.  The conservation law covers streams like any
+        other submit: each ends in exactly one of served / rejected /
+        expired / errors / cancelled / unavailable / throttled
+        (abandoning the generator mid-stream counts ``cancelled`` when
+        it is closed).  A terminal
+        :class:`~repro.serve.errors.DeadlineExceeded` carries the
+        fleet-level ``tiles_delivered`` across all attempts.  Policy
+        verdicts surface on the first ``next``, not at call time; hedged
+        backups and retry policies do not apply to streams (a stream is
+        one stateful read, not a repeatable call).
+        """
+        omega = np.asarray(omega, dtype=np.float64).reshape(-1)
+        admission = self.admission
+        if tenant is not None and admission is not None:
+            retry_after = admission.try_acquire(tenant)
+            if retry_after is not None:
+                with self._lock:
+                    self._c["submitted"] += 1
+                    self._c["throttled"] += 1
+                quota = admission.quota_for(tenant)
+                raise TenantThrottled(model_name, tenant, retry_after,
+                                      rate=quota.rate, burst=quota.burst)
+        _, replicas = self._route(model_name)
+        replicas = self._order_replicas(model_name, replicas)
+        return self._stream_iter(model_name, omega, resolution, priority,
+                                 deadline_s, tenant, replicas, tiles,
+                                 buffer_tiles)
+
+    def _stream_iter(self, model_name: str, omega: np.ndarray,
+                     resolution: int | None, priority: int | None,
+                     deadline_s: float | None, tenant: str | None,
+                     replicas: list[Shard], tiles, buffer_tiles: int):
+        """Generator body of :meth:`stream` (runs on first ``next``).
+
+        Submission is counted here, when iteration actually starts, so
+        a stream opened but never consumed leaves the conservation law
+        untouched instead of permanently one short.
+        """
         with self._lock:
             self._c["submitted"] += 1
-        self._dispatch(out, state, sync=True)
-        hedge = self.hedge
-        if hedge is not None and len(replicas) > 1 and not out.done():
-            self._arm_hedge(out, hedge)
-        return out
+            self._c["streams"] += 1
+        budget = self.config.shard_timeout_s
+        delivered: set[int] = set()
+        expected: set[int] | None = None   # fixed by the first replica
+        remaining = tiles
+        next_idx = 0
+        health_retried = False
+        ignore_health = False
+        resuming = False
+        while True:
+            shard = None
+            with self._lock:
+                while next_idx < len(replicas):
+                    candidate = replicas[next_idx]
+                    next_idx += 1
+                    if candidate.healthy or ignore_health:
+                        shard = candidate
+                        break
+            if shard is None:
+                if not health_retried:
+                    # Same last resort as _dispatch: one pass ignoring
+                    # health marks before declaring the key unavailable.
+                    health_retried = True
+                    ignore_health = True
+                    next_idx = 0
+                    continue
+                with self._lock:
+                    self._c["unavailable"] += 1
+                raise FleetUnavailable(
+                    model_name, [s.id for s in replicas])
+            self._comm.send(omega.nbytes)      # routing hop: ω out
+            try:
+                source = shard.server.submit_stream(
+                    model_name, omega, resolution, priority=priority,
+                    deadline_s=deadline_s, tenant=tenant, tiles=remaining,
+                    buffer_tiles=buffer_tiles)
+            except ServerOverloaded:
+                with self._lock:
+                    self._c["rejected"] += 1
+                raise
+            except TenantThrottled:
+                with self._lock:
+                    self._c["throttled"] += 1
+                raise
+            except (ValueError, RegistryError, ServeError):
+                with self._lock:
+                    self._c["errors"] += 1
+                raise
+            except Exception as exc:
+                self._eject(shard, exc)
+                self._breaker_failure(model_name, shard)
+                with self._lock:
+                    self._c["failovers"] += 1
+                continue
+            if expected is None:
+                expected = set(source.tile_indices)
+            if resuming:
+                resuming = False
+                with self._lock:
+                    self._c["stream_resumed"] += 1
+            fault: BaseException | None = None
+            hang = False
+            try:
+                while True:
+                    try:
+                        record = source.next_record(timeout=budget)
+                    except StopIteration:
+                        break
+                    except StreamStalled:
+                        fault = TimeoutError(
+                            f"shard {shard.id} stalled mid-stream past "
+                            f"shard_timeout_s={budget}")
+                        hang = True
+                        break
+                    except DeadlineExceeded as exc:
+                        with self._lock:
+                            self._c["expired"] += 1
+                        # Fleet-level progress across all attempts.
+                        exc.tiles_delivered = len(delivered)
+                        raise
+                    except ServerOverloaded:
+                        with self._lock:
+                            self._c["rejected"] += 1
+                        raise
+                    except TenantThrottled:
+                        with self._lock:
+                            self._c["throttled"] += 1
+                        raise
+                    except (ServeError, ValueError, RegistryError):
+                        with self._lock:
+                            self._c["errors"] += 1
+                        raise
+                    except Exception as exc:
+                        fault = exc
+                        break
+                    i, sl, core = record
+                    if i in delivered:
+                        continue   # failover guard: never re-sent
+                    delivered.add(i)
+                    with self._lock:
+                        self._c["stream_tiles_delivered"] += 1
+                    self._comm.send(core.nbytes)   # response hop, per tile
+                    yield i, sl, core
+            except GeneratorExit:
+                with self._lock:
+                    self._c["cancelled"] += 1
+                source.close()
+                raise
+            if fault is None:
+                with self._lock:
+                    self._c["served"] += 1
+                self._readmit(shard)
+                self._breaker_success(model_name, shard)
+                return
+            source.close()
+            self._eject(shard, fault, hang=hang)
+            self._breaker_failure(model_name, shard)
+            with self._lock:
+                self._c["failovers"] += 1
+            remaining = sorted(expected - delivered)
+            if not remaining:
+                # The fault landed after the last tile reached the
+                # consumer: the stream is complete.
+                with self._lock:
+                    self._c["served"] += 1
+                return
+            resuming = True
 
     def predict(self, model_name: str, omega: np.ndarray,
                 resolution: int | None = None,
@@ -722,12 +922,18 @@ class ShardedFleet:
                 continue
             with self._lock:
                 state.inners.append(inner)
+            # Per-attempt anchor: the hedge policy must learn *service*
+            # latency of the attempt that answers, not submit-anchored
+            # wall time (which folds in hung primaries and hedge delays
+            # and would ratchet the quantile toward max_delay_s).
+            anchor = time.monotonic()
             inner.add_done_callback(
-                lambda f, shard=shard: self._on_done(out, state, shard, f))
+                lambda f, shard=shard, anchor=anchor:
+                self._on_done(out, state, shard, f, anchor))
             return
 
     def _on_done(self, out: Future, state: _RouteState, shard: Shard,
-                 inner: Future) -> None:
+                 inner: Future, anchor: float | None = None) -> None:
         """Classify a shard answer: deliver, or eject + fail over."""
         try:
             exc = inner.exception()
@@ -735,7 +941,8 @@ class ShardedFleet:
             exc = cancel
         if exc is None:
             value = inner.result()
-            if self._deliver(out, state, result=value, counter="served"):
+            if self._deliver(out, state, result=value, counter="served",
+                             anchor=anchor):
                 self._comm.send(value.nbytes)     # response hop: field back
                 # An answer is the strongest health probe there is: a
                 # shard serving from the ignore-health last-resort pass
@@ -781,12 +988,26 @@ class ShardedFleet:
 
     def _deliver(self, out: Future, state: _RouteState, *,
                  result=None, exc: BaseException | None = None,
-                 counter: str = "served") -> bool:
+                 counter: str = "served",
+                 anchor: float | None = None) -> bool:
         """Resolve the fleet future exactly once and count the outcome.
 
         Returns ``False`` when this call lost the delivery race (a hang
         failover already answered) or the caller cancelled — stragglers
         must neither overwrite the result nor double-count.
+
+        ``anchor`` is the winning attempt's dispatch stamp.  Client
+        latency (``_latencies``) stays submit-anchored — a request that
+        burned ``shard_timeout_s`` on a hung primary must report that
+        wait — but the hedge policy's window gets ``now - anchor``, the
+        *service* latency of the attempt that actually answered.
+        Feeding submit-anchored samples would poison the quantile: every
+        hedged win and hang failover folds the primary's wait into the
+        sample, ratcheting the delay toward ``max_delay_s`` and
+        disabling hedging exactly when it is needed.  Failed, cancelled
+        and breaker-deflected attempts never reach this observation at
+        all (``exc`` delivery records no sample; stragglers bounce off
+        the delivered-guard above).
         """
         with self._lock:
             if state.delivered:
@@ -797,14 +1018,11 @@ class ShardedFleet:
         except InvalidStateError:  # pragma: no cover - delivered guards this
             return False
         latency = None
+        now = time.monotonic()
         with self._lock:
             self._c[counter if live else "cancelled"] += 1
             if live and exc is None:
-                # Anchor on submit, not on the last dispatch attempt:
-                # a request that burned shard_timeout_s on a hung
-                # primary must report that wait, not just the replica's
-                # service time.
-                latency = time.monotonic() - state.submitted_at
+                latency = now - state.submitted_at
                 self._latencies.append(latency)
                 if len(self._latencies) > _LAT_WINDOW:
                     del self._latencies[:len(self._latencies) - _LAT_WINDOW]
@@ -815,7 +1033,7 @@ class ShardedFleet:
                 out.set_result(result)
         hedge = self.hedge
         if hedge is not None and latency is not None:
-            hedge.observe(latency)
+            hedge.observe(now - anchor if anchor is not None else latency)
         if state.hedged:
             self._cancel_stragglers(state)
         return live
@@ -878,14 +1096,16 @@ class ShardedFleet:
                 self._c["hedges"] += 1
                 state.inners.append(inner)
             hedge.record_hedge()
+            anchor = time.monotonic()
             inner.add_done_callback(
-                lambda f, shard=shard: self._on_hedge_done(
-                    future, state, shard, f))
+                lambda f, shard=shard, anchor=anchor: self._on_hedge_done(
+                    future, state, shard, f, anchor))
             return True
         return False
 
     def _on_hedge_done(self, out: Future, state: _RouteState,
-                       shard: Shard, inner: Future) -> None:
+                       shard: Shard, inner: Future,
+                       anchor: float | None = None) -> None:
         """Classify a backup answer: first answer wins, losing or
         policy-rejected backups stay silent (the primary attempt still
         owns the request — a hedge must never *cause* a failure), and
@@ -896,7 +1116,8 @@ class ShardedFleet:
             return                       # shed straggler: already won
         if exc is None:
             value = inner.result()
-            if self._deliver(out, state, result=value, counter="served"):
+            if self._deliver(out, state, result=value, counter="served",
+                             anchor=anchor):
                 with self._lock:
                     self._c["hedged_wins"] += 1
                 hedge = self.hedge

@@ -374,17 +374,29 @@ class VirtualClock:
 class ShardChaos:
     """Reversible fault injection on one shard's server.
 
-    ``kill`` makes ``submit`` raise (the fleet sees a shard fault and
-    fails over); ``hang`` gates ``_forward`` on an event (requests
-    stall until ``release`` — or until the fleet's hang budget ejects
-    the shard); ``restore`` undoes everything.  The same mechanics as
-    the single-fault chaos suite, packaged for scenario scripts.
+    ``kill`` makes ``submit`` *and* ``submit_stream`` raise (the fleet
+    sees a shard fault and fails over — a mid-scenario stream resumes
+    its undelivered tiles on a replica); ``hang`` gates ``_forward``
+    and the per-tile ``_stream_tiles`` generator on an event (requests
+    and streams stall until ``release`` — or until the fleet's hang
+    budget ejects the shard); ``restore`` undoes everything.  The same
+    mechanics as the single-fault chaos suite, packaged for scenario
+    scripts.
+
+    Re-entrant faults are safe: a second ``hang`` before the first is
+    released swaps in a fresh gate but *sets the superseded one first*,
+    so waiters parked on the old event are handed to the new gate's
+    lifecycle instead of being orphaned forever — ``release``/
+    ``restore`` then genuinely un-hangs the shard, which is what lets
+    the harness's ``finally`` clean up a trace aborted mid-hang.
     """
 
     def __init__(self, shard: "Shard") -> None:
         self.shard = shard
         self._submit = shard.server.submit
+        self._submit_stream = shard.server.submit_stream
         self._forward = shard.server._forward
+        self._stream_tiles = shard.server._stream_tiles
         self._release = threading.Event()
         self._release.set()
 
@@ -393,22 +405,43 @@ class ShardChaos:
             raise ConnectionError(
                 f"{self.shard.id} is down (scripted kill)")
         self.shard.server.submit = dead
+        self.shard.server.submit_stream = dead
 
     def hang(self) -> None:
+        # Swap the gate first, then open the superseded one: any thread
+        # still parked on the previous event wakes and proceeds (that
+        # hang is over), while new work blocks on the fresh gate.  The
+        # old buggy shape — dropping the previous Event unreleased —
+        # left prior waiters blocked on an object no longer reachable
+        # through release()/restore(): a leaked hung shard.
+        prev = self._release
         release = self._release = threading.Event()
+        prev.set()
         forward = self._forward
+        stream_tiles = self._stream_tiles
 
         def stalled(*args, **kwargs):
             release.wait()
             return forward(*args, **kwargs)
+
+        def stalled_stream(*args, **kwargs):
+            # Generator: the wait lands on first next(), i.e. on the
+            # server's stream worker — the consumer side observes a
+            # stalled next_record() and the fleet's budget ejects us.
+            release.wait()
+            yield from stream_tiles(*args, **kwargs)
+
         self.shard.server._forward = stalled
+        self.shard.server._stream_tiles = stalled_stream
 
     def release(self) -> None:
         self._release.set()
         self.shard.server._forward = self._forward
+        self.shard.server._stream_tiles = self._stream_tiles
 
     def restore(self) -> None:
         self.shard.server.submit = self._submit
+        self.shard.server.submit_stream = self._submit_stream
         self.release()
 
 

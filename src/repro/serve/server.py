@@ -62,9 +62,13 @@ from .cache import LRUCache, result_key
 from .errors import DeadlineExceeded, ServerOverloaded, TenantThrottled
 from .executor import Executor, SerialExecutor, make_executor
 from .registry import ModelEntry, ModelRegistry
-from .tiling import receptive_halo, tiled_predict
+from .tiling import (
+    autotune_tile, plan_tiles, receptive_halo, stream_tiled_predict,
+    tiled_predict,
+)
 
-__all__ = ["ServerConfig", "ServerStats", "PredictionServer"]
+__all__ = ["ServerConfig", "ServerStats", "PredictionServer",
+           "TileStream", "StreamStalled"]
 
 _LAT_WINDOW = 10_000
 
@@ -125,6 +129,8 @@ class ServerStats:
     rejected: int = 0          # max_pending backpressure rejections
     expired: int = 0           # deadlines missed before a fused forward
     throttled: int = 0         # per-tenant admission-control rejections
+    streams: int = 0           # streaming requests accepted
+    stream_tiles: int = 0      # tile records emitted by streams
     queue_depth: int = 0       # gauge: pending + in-flight at last read
     latencies: list = field(default_factory=list)
 
@@ -149,6 +155,160 @@ class ServerStats:
     @property
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches if self.batches else 0.0
+
+
+class StreamStalled(RuntimeError):
+    """``TileStream.next_record(timeout=...)`` found no record in time.
+
+    Deliberately *not* a :class:`TimeoutError`: a stalled wait must be
+    distinguishable from a :class:`DeadlineExceeded` terminal (which is
+    one), because the fleet treats the former as a shard hang (eject +
+    resume elsewhere) and the latter as the request's own verdict.
+    """
+
+
+class _StreamClosed(Exception):
+    """Internal: the consumer closed the stream; the producer stops."""
+
+
+def _stream_terminal(stream: "TileStream"):
+    """Done-callback relaying a stream request's terminal outcome.
+
+    The future resolves strictly after the last ``_emit``, so the
+    terminal lands behind every buffered record — a consumer drains all
+    delivered tiles before seeing the stream end (or its error).
+    """
+    def relay(future: Future) -> None:
+        if future.cancelled():
+            stream._finish(None)
+            return
+        stream._finish(future.exception())
+    return relay
+
+
+class TileStream:
+    """Consumer handle for one streaming tiled prediction.
+
+    Iterating yields ``(tile_index, core_slices, core)`` records:
+    ``tile_index`` identifies the tile in plan order (stable regardless
+    of completion order), ``core_slices`` is the spatial ``tuple`` of
+    slices into the full ``(*grid.shape)`` field, and ``core`` is the
+    masked prediction for that region.  Assembling every record via
+    ``out[core_slices] = core`` reproduces the non-streamed prediction
+    bitwise.
+
+    Two modes, chosen by the server:
+
+    * **pull** — the stream wraps a generator; each ``next`` runs the
+      tile compute on the consumer's thread (sync front-end, cache
+      hits).  Backpressure is inherent.
+    * **push** — a server worker produces records into a bounded buffer
+      (``buffer_tiles``); when the consumer falls behind, the producer's
+      ``_emit`` blocks, which stalls that worker thread — a slow
+      consumer backpressures the pool instead of accumulating tiles.
+
+    A terminal :class:`DeadlineExceeded` (per-tile deadline checks)
+    carries ``tiles_delivered`` so a progressive client knows exactly
+    how much of the field it holds.  ``close()`` releases the producer
+    early; subsequent ``next`` raises ``StopIteration``.
+    """
+
+    def __init__(self, model_name: str, key: tuple | None,
+                 shape: tuple[int, ...], tile_indices,
+                 buffer_tiles: int = 2) -> None:
+        self.model_name = model_name
+        self.key = key
+        self.shape = tuple(shape)
+        self.tile_indices = tuple(int(i) for i in tile_indices)
+        self.num_tiles = len(self.tile_indices)
+        self.delivered = 0
+        self._gen = None                      # pull mode
+        self._cond = threading.Condition()    # push mode
+        self._buf: list = []
+        self._capacity = max(1, int(buffer_tiles))
+        self._terminal: tuple | None = None   # ("end", None) | ("error", e)
+        self._closed = False
+
+    # -- consumer side ------------------------------------------------- #
+    def __iter__(self) -> "TileStream":
+        return self
+
+    def __next__(self):
+        return self.next_record()
+
+    def next_record(self, timeout: float | None = None):
+        """The next tile record; raises :class:`StreamStalled` when no
+        record (or terminal) arrives within ``timeout`` seconds.
+
+        In pull mode the compute runs here, on the calling thread, and
+        ``timeout`` cannot apply.
+        """
+        if self._gen is not None:
+            if self._closed:
+                raise StopIteration
+            record = next(self._gen)   # StopIteration/terminals propagate
+            self.delivered += 1
+            return record
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise StopIteration
+                if self._buf:
+                    record = self._buf.pop(0)
+                    self.delivered += 1
+                    self._cond.notify_all()   # free a blocked producer
+                    return record
+                if self._terminal is not None:
+                    kind, exc = self._terminal
+                    if kind == "error":
+                        raise exc
+                    raise StopIteration
+                wait = None
+                if deadline is not None:
+                    wait = deadline - time.monotonic()
+                    if wait <= 0:
+                        raise StreamStalled(
+                            f"stream for model {self.model_name!r} "
+                            f"produced no tile within {timeout} s")
+                self._cond.wait(wait)
+
+    def close(self) -> None:
+        """Stop consuming; a push-mode producer unblocks and stops."""
+        if self._gen is not None:
+            self._closed = True
+            self._gen.close()
+            return
+        with self._cond:
+            self._closed = True
+            self._buf.clear()
+            self._cond.notify_all()
+
+    # -- producer side (server internals) ------------------------------ #
+    def _emit(self, record) -> None:
+        """Blocking bounded put; raises ``_StreamClosed`` after close."""
+        with self._cond:
+            while len(self._buf) >= self._capacity:
+                if self._closed:
+                    raise _StreamClosed
+                self._cond.wait()
+            if self._closed:
+                raise _StreamClosed
+            self._buf.append(record)
+            self._cond.notify_all()
+
+    def _finish(self, exc: BaseException | None = None) -> None:
+        """Install the terminal outcome (first one wins)."""
+        with self._cond:
+            if self._terminal is None:
+                self._terminal = ("error", exc) if exc is not None \
+                    else ("end", None)
+            self._cond.notify_all()
+
+    def __repr__(self) -> str:
+        return (f"TileStream(model={self.model_name!r}, "
+                f"tiles={self.num_tiles}, delivered={self.delivered})")
 
 
 class PredictionServer:
@@ -390,6 +550,115 @@ class PredictionServer:
             self._process_group(entry, [request])
         return future
 
+    def submit_stream(self, model_name: str, omega: np.ndarray,
+                      resolution: int | None = None, *,
+                      priority: int | None = None,
+                      deadline_s: float | None = None,
+                      tenant: str | None = None,
+                      tiles=None, buffer_tiles: int = 2) -> TileStream:
+        """Stream one prediction tile by tile; returns a
+        :class:`TileStream` yielding ``(tile_index, core_slices, core)``
+        records as tile forwards complete.
+
+        The request rides the same machinery as :meth:`submit` —
+        admission control, the priority/deadline queue, ``max_pending``
+        backpressure — but resolves progressively: the first record
+        arrives after one tile forward instead of after the full field.
+        The deadline is enforced *per tile*: before each tile's compute
+        the budget is re-checked, and an expired stream terminates with
+        a keyed :class:`DeadlineExceeded` carrying
+        ``tiles_delivered``-so-far.  A cache hit streams the cached
+        field's tile cores without compute; a fully delivered stream
+        fills the cache like a fused forward would.
+
+        ``tiles`` restricts the stream to a subset of tile indices (the
+        fleet's mid-stream resume uses this); ``buffer_tiles`` bounds
+        how many completed-but-unconsumed records a running server
+        buffers before the producing worker blocks (slow-consumer
+        backpressure).  Streams bypass in-flight dedup — two identical
+        streams each deliver their own records.
+        """
+        if tenant is not None and self.admission is not None:
+            retry_after = self.admission.try_acquire(tenant)
+            if retry_after is not None:
+                with self._stats_lock:
+                    self.stats.throttled += 1
+                quota = self.admission.quota_for(tenant)
+                raise TenantThrottled(model_name, tenant, retry_after,
+                                      rate=quota.rate, burst=quota.burst)
+        entry = self.registry.get(model_name)
+        r = int(resolution or entry.problem.resolution)
+        omega = np.asarray(omega, dtype=np.float64).reshape(-1)
+        if omega.size != entry.problem.field.m:
+            raise ValueError(
+                f"model {model_name!r} expects omega of length "
+                f"{entry.problem.field.m}, got {omega.size}")
+        t0 = time.perf_counter()
+        if priority is None:
+            priority = self.config.default_priority
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        expires_at = t0 + deadline_s if deadline_s is not None else None
+
+        # Resolve the plan eagerly: tile identities must be fixed before
+        # any compute so a resuming caller can name the undelivered set.
+        tile, halo = self._tile_params(entry, r)
+        if tile == "autotune":
+            tile = autotune_tile(entry.model, entry.problem, r, halo,
+                                 self.executor)
+        shape = entry.problem.grid(r).shape
+        plan = plan_tiles(shape, tile, halo, 2 ** entry.model.net.depth)
+        if tiles is None:
+            indices = tuple(range(plan.num_tiles))
+        else:
+            indices = tuple(int(t) for t in tiles)
+            for t in indices:
+                if not 0 <= t < plan.num_tiles:
+                    raise ValueError(
+                        f"tile index {t} out of range for "
+                        f"{plan.num_tiles} tiles")
+        key = self._key(entry, omega, r)
+        stream = TileStream(model_name, key, shape, indices,
+                            buffer_tiles=buffer_tiles)
+        stream._plan, stream._tile, stream._halo = plan, tile, halo
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._stats_lock:
+                self.stats.requests += 1
+                self.stats.streams += 1
+                self.stats.cache_hits += 1
+            stream._gen = self._stream_cached(
+                stream, plan, cached, expires_at, deadline_s, t0)
+            return stream
+
+        request = PredictRequest(
+            model_name=model_name, omega=omega, resolution=r,
+            future=Future(), key=key, priority=int(priority),
+            deadline_s=deadline_s, expires_at=expires_at, tenant=tenant,
+            stream=stream)
+        request.future.add_done_callback(_stream_terminal(stream))
+        if self.running:
+            try:
+                self._queue.put(request, block=False)
+            except queue.Full:
+                with self._stats_lock:
+                    self.stats.rejected += 1
+                raise ServerOverloaded(
+                    model_name, key, pending=self._queue.qsize(),
+                    max_pending=self.config.max_pending) from None
+            with self._stats_lock:
+                self.stats.requests += 1
+                self.stats.streams += 1
+            return stream
+        with self._stats_lock:
+            self.stats.requests += 1
+            self.stats.streams += 1
+        # Sync front-end: lazy pull-mode generator — each ``next`` runs
+        # one tile's compute on the consumer's thread.
+        stream._gen = self._stream_records(entry, request)
+        return stream
+
     def predict(self, model_name: str, omega: np.ndarray,
                 resolution: int | None = None,
                 timeout: float | None = None, *,
@@ -440,7 +709,11 @@ class PredictionServer:
                             if claimed:
                                 req.future.set_exception(exc)
                         continue
-                    self._process_group(entry, group)
+                    if group[0].stream is not None:
+                        # Streams form singleton groups by construction.
+                        self._process_stream(entry, group[0])
+                    else:
+                        self._process_group(entry, group)
             finally:
                 for _ in batch:
                     self._queue.task_done()
@@ -470,7 +743,9 @@ class PredictionServer:
         if self._claim(req):
             req.future.set_exception(DeadlineExceeded(
                 req.model_name, req.key, deadline_s=req.deadline_s or 0.0,
-                waited_s=time.perf_counter() - req.enqueued_at))
+                waited_s=time.perf_counter() - req.enqueued_at,
+                # A stream that expires while queued delivered nothing.
+                tiles_delivered=(0 if req.stream is not None else None)))
         self._drop_inflight(req)
 
     def _drop_inflight(self, req: PredictRequest) -> None:
@@ -518,6 +793,121 @@ class PredictionServer:
             # arriving in between hits one of the two, never neither.
             self._drop_inflight(req)
             req.future.set_result(stored)
+
+    def _process_stream(self, entry: ModelEntry,
+                        req: PredictRequest) -> None:
+        """Produce one stream's tile records on a worker thread.
+
+        Records go into the stream's bounded buffer (``_emit`` blocks
+        when the consumer lags — the backpressure seam); the terminal
+        outcome travels through ``req.future``, whose done-callback
+        relays it into the stream *behind* every buffered record.
+        """
+        stream = req.stream
+        if not self._claim(req):
+            stream._finish(None)
+            return
+        try:
+            for record in self._stream_records(entry, req):
+                stream._emit(record)
+        except _StreamClosed:
+            # Consumer walked away mid-stream: nothing left to report.
+            req.future.set_result(None)
+        except Exception as exc:
+            if not isinstance(exc, DeadlineExceeded):
+                with self._stats_lock:
+                    self.stats.errors += 1
+            req.future.set_exception(exc)
+        else:
+            with self._stats_lock:
+                self.stats.observe_latency(
+                    time.perf_counter() - req.enqueued_at)
+            req.future.set_result(None)
+
+    def _stream_records(self, entry: ModelEntry, req: PredictRequest):
+        """Generator of one stream's records, deadline-checked per tile.
+
+        The budget is re-checked *before* each tile's compute, so an
+        expired stream dies early — with a keyed
+        :class:`DeadlineExceeded` carrying ``tiles_delivered`` — instead
+        of finishing the field nobody is waiting for.  A stream that
+        covers every tile assembles the full field on the side and fills
+        the cache, exactly as a fused forward would.
+        """
+        stream = req.stream
+        plan = stream._plan
+        with self._stats_lock:
+            self.stats.tiled_forwards += 1
+        complete = set(stream.tile_indices) == set(range(plan.num_tiles))
+        out = None
+        n = 0
+        it = self._stream_tiles(entry, req.omega, req.resolution,
+                                stream.tile_indices, stream._tile,
+                                stream._halo)
+        try:
+            while True:
+                if req.expired():
+                    with self._stats_lock:
+                        self.stats.expired += 1
+                    raise DeadlineExceeded(
+                        req.model_name, req.key,
+                        deadline_s=req.deadline_s or 0.0,
+                        waited_s=time.perf_counter() - req.enqueued_at,
+                        tiles_delivered=n)
+                try:
+                    i, sl, core = next(it)
+                except StopIteration:
+                    break
+                if complete:
+                    if out is None:
+                        out = np.empty(stream.shape, dtype=core.dtype)
+                    out[sl] = core
+                with self._stats_lock:
+                    self.stats.stream_tiles += 1
+                yield i, sl, core
+                n += 1
+        finally:
+            it.close()
+        if complete and out is not None:
+            self.cache.put(req.key, out)
+
+    def _stream_cached(self, stream: TileStream, plan, cached: np.ndarray,
+                       expires_at: float | None, deadline_s: float | None,
+                       t0: float):
+        """Stream a cache hit: slice the cached field per plan block (no
+        compute), still honoring per-tile deadline checks."""
+        n = 0
+        for i in stream.tile_indices:
+            if expires_at is not None and time.perf_counter() > expires_at:
+                with self._stats_lock:
+                    self.stats.expired += 1
+                raise DeadlineExceeded(
+                    stream.model_name, stream.key,
+                    deadline_s=deadline_s or 0.0,
+                    waited_s=time.perf_counter() - t0, tiles_delivered=n)
+            sl = tuple(slice(a, b) for a, b in plan.blocks[i])
+            with self._stats_lock:
+                self.stats.stream_tiles += 1
+            yield i, sl, cached[sl]
+            n += 1
+
+    def _stream_tiles(self, entry: ModelEntry, omega: np.ndarray,
+                      resolution: int, tiles, tile, halo):
+        """Raw tile-record generator — the stream compute seam.
+
+        Yields ``(tile_index, core_slices, core)`` with ``core`` of
+        shape ``(*core_shape)`` (the single-request batch dim dropped).
+        The chaos/replay layer wraps this method to gate or fault a
+        shard's stream production, mirroring its ``_forward`` hook.
+        """
+        executor = self.executor
+        net_ref = (self._net_ref(entry) if executor.kind == "process"
+                   else None)
+        for i, sl, core in stream_tiled_predict(
+                entry.model, entry.problem, omega.reshape(1, -1),
+                resolution=resolution, tile=tile, halo=halo,
+                executor=executor, net_ref=net_ref, tiles=tiles):
+            yield i, sl, core[0]
 
     def _forward(self, entry: ModelEntry, omegas: np.ndarray,
                  resolution: int) -> np.ndarray:

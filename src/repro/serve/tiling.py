@@ -55,7 +55,8 @@ from ..core.inference import apply_bc_masks, prepare_batch_inputs
 from ..distributed.model_parallel import extract_padded_block
 
 __all__ = ["TilePlan", "receptive_halo", "plan_tiles", "tile_candidates",
-           "autotune_tile", "tiled_forward", "tiled_predict"]
+           "autotune_tile", "tiled_forward", "tiled_predict",
+           "stream_tiled_forward", "stream_tiled_predict"]
 
 # Measured tile-size winners, persisted per host (the best tile trades
 # per-tile overhead against working-set size — a property of this CPU's
@@ -304,6 +305,136 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
         for core_dst, core in zip(core_dsts, cores):
             out[(slice(None), slice(None)) + core_dst] = core
     return out
+
+
+def stream_tiled_forward(net, x: np.ndarray, plan: TilePlan,
+                         executor=None,
+                         net_ref: tuple[str, bytes] | None = None,
+                         tiles=None):
+    """Stream tile cores as they complete instead of stitching them.
+
+    Yields ``(tile_index, core_slices, core)`` records where
+    ``tile_index`` is the tile's position in ``plan.blocks`` (a stable
+    identity independent of completion order), ``core_slices`` is the
+    spatial destination ``tuple[slice, ...]`` into the full field, and
+    ``core`` is a fresh ``(N, C, *core_shape)`` array.  Assigning every
+    core via ``out[(slice(None), slice(None)) + core_slices] = core``
+    reproduces :func:`tiled_forward` bitwise — the per-tile compute is
+    the same code path; only delivery order differs.
+
+    ``tiles`` optionally restricts the stream to a subset of tile
+    indices (e.g. a fleet resuming a stream on a replacement replica
+    skips tiles the consumer already holds).
+    """
+    if x.shape[2:] != plan.shape:
+        raise ValueError(
+            f"input spatial shape {x.shape[2:]} != plan shape {plan.shape}")
+    if tiles is None:
+        indices = list(range(plan.num_tiles))
+    else:
+        indices = [int(t) for t in tiles]
+        for t in indices:
+            if not 0 <= t < plan.num_tiles:
+                raise ValueError(
+                    f"tile index {t} out of range for {plan.num_tiles} tiles")
+    core_dsts = {i: tuple(slice(start, stop) for start, stop in plan.blocks[i])
+                 for i in indices}
+    kind = getattr(executor, "kind", "serial")
+    parallel = (executor is not None and kind != "serial"
+                and executor.workers > 1 and len(indices) > 1)
+
+    if not parallel:
+        pool = get_pool()
+        for i in indices:
+            padded, core_src = _padded_block(x, plan.blocks[i], plan.halo)
+            buf = pool.acquire(padded.shape, dtype=padded.dtype)
+            np.copyto(buf, padded)
+            try:
+                core = _forward_tile(net, buf, core_src)
+            finally:
+                pool.release(buf)
+            yield i, core_dsts[i], core
+    elif kind == "process":
+        if net_ref is not None:
+            version, blob = net_ref
+        else:
+            blob = pickle.dumps(net)
+            version = hashlib.sha1(blob).hexdigest()[:12]
+        # Bounded waves, as in tiled_forward: the parent holds contiguous
+        # copies of ~2 tiles per worker at a time.  Within a wave results
+        # stream out in completion order.
+        wave = max(1, 2 * executor.workers)
+        for w0 in range(0, len(indices), wave):
+            wave_ids = indices[w0:w0 + wave]
+            tasks = []
+            for i in wave_ids:
+                padded, core_src = _padded_block(x, plan.blocks[i], plan.halo)
+                tasks.append((version, blob,
+                              np.ascontiguousarray(padded), core_src))
+            for pos, core in executor.imap_unordered(_run_tile_task, tasks):
+                i = wave_ids[pos]
+                yield i, core_dsts[i], core
+    else:  # thread executor: share the model, pool scratch per task
+
+        def run(i) -> np.ndarray:
+            padded, core_src = _padded_block(x, plan.blocks[i], plan.halo)
+            pool = get_pool()
+            buf = pool.acquire(padded.shape, dtype=padded.dtype)
+            np.copyto(buf, padded)
+            try:
+                return _forward_tile(net, buf, core_src)
+            finally:
+                pool.release(buf)
+
+        for pos, core in executor.imap_unordered(run, indices):
+            i = indices[pos]
+            yield i, core_dsts[i], core
+
+
+def stream_tiled_predict(model, problem, omegas: np.ndarray,
+                         resolution: int | None = None,
+                         tile: "int | str | None" = None,
+                         halo: int | None = None, executor=None,
+                         net_ref: tuple[str, bytes] | None = None,
+                         tiles=None):
+    """Streaming counterpart of :func:`tiled_predict`.
+
+    Yields ``(tile_index, core_slices, core)`` records where ``core`` is
+    the *masked* prediction for that core region, shape
+    ``(B, *core_shape)``, and ``core_slices`` indexes the spatial axes of
+    the assembled ``(B, *grid.shape)`` field.  Dirichlet masking
+    (Algorithm 1 line 8) is pointwise, so masking each core is bitwise
+    identical to masking the stitched field — assembling every record
+    reproduces :func:`tiled_predict` exactly.
+
+    The generator holds the model in eval mode only while it is being
+    consumed; ``tiles`` restricts the stream to a subset of tile indices
+    for mid-stream resume.
+    """
+    if tile == "autotune":
+        tile = autotune_tile(model, problem, resolution, halo, executor)
+    log_nu, chi_int, u_bc = prepare_batch_inputs(problem, omegas, resolution)
+    shape = log_nu.shape[2:]
+
+    net = model.net
+    multiple = 2 ** net.depth
+    if halo is None:
+        halo = receptive_halo(model)
+    if tile is None:
+        tile = max(multiple, min(shape))
+    plan = plan_tiles(shape, tile, halo, multiple)
+
+    was_training = model.training
+    model.eval()
+    try:
+        for i, core_dst, core in stream_tiled_forward(
+                net, log_nu, plan, executor=executor,
+                net_ref=net_ref, tiles=tiles):
+            mask = (slice(None), slice(None)) + core_dst
+            yield i, core_dst, apply_bc_masks(
+                core, chi_int[mask], u_bc[mask])
+    finally:
+        model.train(was_training)
 
 
 def tiled_predict(model, problem, omegas: np.ndarray,

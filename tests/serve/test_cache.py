@@ -256,3 +256,62 @@ class TestSpillBudget:
             cache.put(("v1", i), _field(float(i)))
         assert cache.stats.spill_evictions == 0
         assert len(list(tmp_path.glob("*.npz"))) == 8
+
+
+class TestSpillRecencyTies:
+    """Regression: spill recency must survive a coarse-mtime filesystem.
+
+    The old ``os.utime(path)`` stamped the current clock; two touches
+    inside one filesystem-mtime tick tied, and the restart re-seed
+    (sorted by mtime) broke the tie by directory-scan order — i.e.
+    arbitrarily.  Touches now stamp an explicit, process-wide strictly
+    increasing nanosecond counter, making the persisted order total
+    even when the clock itself never advances.
+    """
+
+    def _frozen_clock(self, monkeypatch):
+        # The worst case: a clock that never moves between touches.
+        from repro.serve import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod.time, "time_ns",
+                            lambda: 1_700_000_000_000_000_000)
+
+    def test_touch_stamps_strictly_increasing_mtimes(self, tmp_path,
+                                                     monkeypatch):
+        from repro.serve.cache import _touch_monotonic
+
+        self._frozen_clock(monkeypatch)
+        paths = []
+        for i in range(4):
+            path = tmp_path / f"f{i}.npz"
+            path.write_bytes(b"x")
+            _touch_monotonic(path)
+            paths.append(path)
+        stamps = [p.stat().st_mtime_ns for p in paths]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)   # no ties, ever
+
+    def test_restart_lru_order_survives_tied_clock(self, tmp_path,
+                                                   monkeypatch):
+        self._frozen_clock(monkeypatch)
+        cache = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path,
+                         spill_max_bytes=1 << 20)
+        for name in ("a", "b", "c"):
+            cache.put(("v1", name), _field(1.0))
+        one_file = next(tmp_path.glob("*.npz")).stat().st_size
+        # Touch order under the frozen clock: b, then a ('c' is LRU
+        # from its write; 'b' older than 'a' from the touches).
+        cache.clear()
+        assert cache.get(("v1", "b")) is not None
+        cache.clear()
+        assert cache.get(("v1", "a")) is not None
+        # Restart with room for exactly two files: the re-seeded
+        # recency must evict 'c' (least recent), not whichever file the
+        # directory scan happened to list first.
+        fresh = LRUCache(max_bytes=1 << 20, spill_dir=tmp_path,
+                         spill_max_bytes=int(2.5 * one_file))
+        fresh.clear()
+        assert fresh.get(("v1", "c")) is None
+        np.testing.assert_array_equal(fresh.get(("v1", "b")), _field(1.0))
+        fresh.clear()
+        np.testing.assert_array_equal(fresh.get(("v1", "a")), _field(1.0))

@@ -637,3 +637,64 @@ class TestResilienceStorm:
         assert s.served == 30
         assert s.lost == 0
         assert s.submitted >= 30
+
+
+class TestHedgeQuantileHygiene:
+    """Regression: the hedge window must see *service* latency.
+
+    The old delivery path fed ``now - state.submitted_at`` — the
+    client-anchored wait — into ``hedge.observe``.  Every hang failover
+    and hedged win then folded the dead primary's wait into the sample,
+    ratcheting the tracked quantile toward ``max_delay_s`` and turning
+    hedging off exactly when it was earning its keep.  Delivery now
+    observes ``now - anchor`` (the winning attempt's dispatch stamp),
+    and only delivered winners observe at all.
+    """
+
+    def _policy(self):
+        return HedgePolicy(HedgeConfig(
+            quantile=50.0, warmup=1, window=16,
+            min_delay_s=1e-4, max_delay_s=10.0))
+
+    def test_observe_anchored_to_attempt_not_submit(self):
+        from repro.serve.fleet import _FleetFuture, _RouteState
+
+        fleet = _fleet()
+        fleet.hedge = self._policy()
+        state = _RouteState("m", np.zeros(4), None, None, None, [])
+        state.submitted_at = time.monotonic() - 100.0   # forged: the
+        out = _FleetFuture(state)        # client waited out a hung primary
+        anchor = time.monotonic() - 0.005  # the replica answered in ~5 ms
+        assert fleet._deliver(out, state, result=np.zeros(2),
+                              counter="served", anchor=anchor)
+        # Client latency keeps the truth: the request *did* wait 100 s.
+        assert fleet._latencies[-1] > 99.0
+        # The hedge window got the 5 ms service latency, not the wait —
+        # were it poisoned, the tracked delay would clamp to max (10 s).
+        assert fleet.hedge.delay_s() < 0.1
+
+    def test_failed_delivery_records_no_sample(self):
+        from repro.serve.fleet import _FleetFuture, _RouteState
+
+        fleet = _fleet()
+        fleet.hedge = self._policy()
+        state = _RouteState("m", np.zeros(4), None, None, None, [])
+        out = _FleetFuture(state)
+        fleet._deliver(out, state, exc=_overloaded(), counter="rejected")
+        assert len(fleet.hedge._samples) == 0
+
+    def test_straggler_after_winner_records_no_sample(self):
+        from repro.serve.fleet import _FleetFuture, _RouteState
+
+        fleet = _fleet()
+        fleet.hedge = self._policy()
+        state = _RouteState("m", np.zeros(4), None, None, None, [])
+        out = _FleetFuture(state)
+        assert fleet._deliver(out, state, result=np.zeros(2),
+                              counter="served", anchor=time.monotonic())
+        # The losing attempt resolves later: delivered-guard bounces it
+        # before it can observe (or double-count).
+        assert not fleet._deliver(out, state, result=np.zeros(2),
+                                  counter="served",
+                                  anchor=time.monotonic() - 50.0)
+        assert len(fleet.hedge._samples) == 1
