@@ -20,6 +20,11 @@ Subcommands
     --replicas R`` runs the consistent-hash-routed
     :class:`repro.serve.ShardedFleet` instead: registry entries and
     request load spread over N simulated hosts with failover.
+    ``--metrics-file`` / ``--trace-file`` turn on the telemetry layer
+    and dump the metrics snapshot / request spans on exit.
+``trace``
+    Offline analysis of an exported span jsonl: ``trace summarize``
+    prints the per-stage latency breakdown.
 ``scaling``
     Print a strong-scaling table from the performance model (Figs 9/10).
 ``info``
@@ -246,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="cool-down before an open circuit half-opens "
                         "and admits trial requests (default 1.0)")
+    p.add_argument("--metrics-file", default=None, metavar="PATH",
+                   help="enable telemetry and write the metrics-registry "
+                        "snapshot (counters, gauges, quantile sketches) "
+                        "to this JSON file on exit")
+    p.add_argument("--trace-file", default=None, metavar="PATH",
+                   help="enable telemetry and write the captured request "
+                        "spans to this jsonl file on exit "
+                        "(see 'repro trace summarize')")
+    p.add_argument("--trace-sample", type=_positive_int, default=1,
+                   metavar="N",
+                   help="trace one request in N (whole subtrees; "
+                        "default 1 = every request)")
+
+    p = sub.add_parser("trace", help="inspect exported telemetry traces")
+    p.add_argument("action", choices=("summarize",),
+                   help="summarize: per-stage latency breakdown")
+    p.add_argument("file", help="span jsonl written by "
+                                "'repro serve --trace-file'")
 
     p = sub.add_parser("scaling", help="strong-scaling table (perf model)")
     p.add_argument("--cluster", choices=("azure", "bridges2"), default="azure")
@@ -480,6 +503,37 @@ def _submit_with_backoff(backend, name, omega, resolution, tenant=None,
             time.sleep(delay)
 
 
+def _serve_telemetry(args):
+    """Build the telemetry bundle when any ``--metrics-file`` /
+    ``--trace-file`` flag asks for it; ``None`` keeps serving free."""
+    if args.metrics_file is None and args.trace_file is None:
+        return None
+    from .serve import Telemetry
+
+    return Telemetry(trace_sample=args.trace_sample)
+
+
+def _write_telemetry(args, telemetry) -> None:
+    """Flush the telemetry surfaces: echo the per-stage breakdown,
+    then dump the metrics snapshot / span jsonl where asked."""
+    if telemetry is None:
+        return
+    from .serve import export_jsonl, format_summary, summarize_spans
+
+    spans = telemetry.tracer.spans()
+    if spans:
+        print("trace: per-stage latency breakdown")
+        print(format_summary(summarize_spans(spans)))
+    if args.metrics_file is not None:
+        with open(args.metrics_file, "w") as fh:
+            fh.write(telemetry.metrics.to_json())
+        print(f"metrics -> {args.metrics_file}")
+    if args.trace_file is not None:
+        with open(args.trace_file, "w") as fh:
+            fh.write(export_jsonl(spans))
+        print(f"trace -> {args.trace_file} ({len(spans)} spans)")
+
+
 def _cmd_serve(args) -> int:
     import time
 
@@ -515,6 +569,9 @@ def _cmd_serve(args) -> int:
         return 1
 
     server = PredictionServer(registry, config)
+    telemetry = _serve_telemetry(args)
+    if telemetry is not None:
+        server.enable_telemetry(telemetry)
     names = registry.names()
     loads = _serve_request_loads(args, names, registry.get)
 
@@ -564,6 +621,7 @@ def _cmd_serve(args) -> int:
           f"{c.evictions} evictions, {c.spill_hits} spill hits, "
           f"{c.spill_writes} spill writes, {c.spill_evictions} spill "
           f"evictions")
+    _write_telemetry(args, telemetry)
     return 0
 
 
@@ -590,6 +648,9 @@ def _serve_fleet(args, config) -> int:
     fleet = ShardedFleet(FleetConfig(
         shards=args.shards, replicas=args.replicas,
         shard_timeout_s=args.shard_timeout, server=config))
+    telemetry = _serve_telemetry(args)
+    if telemetry is not None:
+        fleet.enable_telemetry(telemetry)
     use_resilience = (args.retries > 0 or args.retry_budget is not None
                       or args.hedge is not None
                       or args.breaker_after is not None)
@@ -732,6 +793,23 @@ def _serve_fleet(args, config) -> int:
         state = "up" if row["healthy"] else "DOWN"
         print(f"  {sid} [{state}] requests={row['requests']} "
               f"cache_hits={row['cache_hits']} models={row['models']}")
+    _write_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .serve import format_summary, parse_jsonl, summarize_spans
+
+    try:
+        with open(args.file) as fh:
+            spans = parse_jsonl(fh.read())
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"no spans in {args.file}", file=sys.stderr)
+        return 1
+    print(format_summary(summarize_spans(spans)))
     return 0
 
 
@@ -773,6 +851,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "scaling": _cmd_scaling,
     "info": _cmd_info,
 }

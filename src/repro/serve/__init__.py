@@ -35,7 +35,14 @@ FEM solve.  This package is the infrastructure realizing that claim:
   them through the priority/deadline/backpressure machinery
   (:class:`TileStream`), :meth:`AsyncPredictionServer.stream` is the
   ``async for`` face, and :meth:`ShardedFleet.stream` fails over
-  mid-stream without re-sending delivered tiles.
+  mid-stream without re-sending delivered tiles;
+* unified telemetry (:class:`Telemetry`) — request tracing
+  (:class:`Tracer` spans through submit → queue → batch → forward →
+  tile → shard attempt → hedge → stream delivery, deterministic jsonl
+  export) plus a metrics registry (:class:`MetricsRegistry` counters /
+  gauges / quantile sketches, legacy stats re-registered as read-time
+  views), enabled per server or fleet via ``enable_telemetry`` and off
+  (free) by default.
 
 Quickstart::
 
@@ -82,6 +89,12 @@ from .server import (
     PredictionServer, ServerConfig, ServerStats, StreamStalled, TileStream,
 )
 from .spill_ledger import SpillLedger
+from .telemetry import (
+    NULL_SPAN, NULL_TRACER, Counter, Gauge, MetricsRegistry,
+    MirroredCounters, NullSpan, NullTracer, QuantileSketch, Span,
+    Telemetry, Tracer, export_jsonl, format_summary, parse_jsonl,
+    summarize_spans,
+)
 from .tiling import (
     TilePlan, autotune_tile, plan_tiles, receptive_halo,
     stream_tiled_forward, stream_tiled_predict, tile_candidates,
@@ -113,4 +126,8 @@ __all__ = [
     "TilePlan", "plan_tiles", "receptive_halo", "tile_candidates",
     "autotune_tile", "tiled_forward", "tiled_predict",
     "stream_tiled_forward", "stream_tiled_predict",
+    "Telemetry", "Tracer", "Span", "NullSpan", "NullTracer",
+    "NULL_SPAN", "NULL_TRACER", "Counter", "Gauge", "QuantileSketch",
+    "MetricsRegistry", "MirroredCounters", "export_jsonl", "parse_jsonl",
+    "summarize_spans", "format_summary",
 ]

@@ -117,6 +117,7 @@ class ControlPlane:
         self.config = config or ControlConfig()
         self._clock = clock
         self._ticks = 0
+        self._views_registered = False
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         cfg = self.config
@@ -164,6 +165,35 @@ class ControlPlane:
         self.prober.tick(now)
         if self.autoscaler is not None:
             self.autoscaler.tick(now)
+        telemetry = getattr(self.fleet, "telemetry", None)
+        if telemetry is not None:
+            self._record_slo(telemetry, now)
+
+    def _record_slo(self, telemetry, now: float) -> None:
+        """Stamp the per-tick SLO trajectory into the metrics registry.
+
+        Gauges carry a bounded ``(t, value)`` history, so a replayed
+        storm can assert the whole trajectory — p99 spiking and
+        recovering, the healthy-shard count dipping and healing — not
+        just the final value.  ``ControlStats`` counters are lazily
+        re-registered as read-time ``stats.control.*`` views on the
+        first telemetry-visible tick.
+        """
+        reg = telemetry.metrics
+        if not self._views_registered:
+            self._views_registered = True
+            for name in ("ticks", "probes", "backoffs", "readmissions",
+                         "decommissions", "reregistrations", "scale_ups",
+                         "scale_downs", "balance_decisions",
+                         "balance_diversions", "admitted", "throttled"):
+                reg.register_view(f"stats.control.{name}",
+                                  lambda n=name: getattr(self.stats, n))
+        stats = self.fleet.stats
+        reg.counter("control.ticks").inc()
+        reg.gauge("slo.p99_ms").set(stats.p99 * 1e3, t=now)
+        reg.gauge("slo.healthy_shards").set(stats.healthy_shards, t=now)
+        depth = sum(s.queue_depth for s in list(self.fleet.shards))
+        reg.gauge("slo.queue_depth").set(depth, t=now)
 
     # ------------------------------------------------------------------ #
     # Real-time shell

@@ -55,6 +55,11 @@ class Executor:
 
     kind = "serial"
 
+    # Telemetry seam: a server with telemetry enabled binds its tracer
+    # here; parallel executors then wrap each ``map`` fan-out in an
+    # "executor.map" span.  Class-level None keeps the default free.
+    tracer = None
+
     @property
     def workers(self) -> int:
         return 1
@@ -62,6 +67,14 @@ class Executor:
     def map(self, fn, items) -> list:
         """Apply ``fn`` to every item; results in input order."""
         raise NotImplementedError
+
+    def _map_span(self, n: int):
+        """Open the fan-out span for an ``n``-item map (or None)."""
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        return tracer.start("executor.map", kind=self.kind, items=n,
+                            workers=self.workers)
 
     def imap_unordered(self, fn, items):
         """Yield ``(index, fn(item))`` pairs in *completion* order.
@@ -142,7 +155,12 @@ class ThreadExecutor(Executor):
         items = list(items)
         if not items:
             return []
-        return list(self._ensure_pool().map(fn, items))
+        span = self._map_span(len(items))
+        try:
+            return list(self._ensure_pool().map(fn, items))
+        finally:
+            if span is not None:
+                span.finish()
 
     def imap_unordered(self, fn, items):
         items = list(items)
@@ -217,9 +235,14 @@ class ProcessExecutor(Executor):
         items = list(items)
         if not items:
             return []
-        # chunksize=1: serving tasks are coarse (a tile or a fused
-        # forward each); load balance beats batched dispatch.
-        return self._ensure_pool().map(fn, items, chunksize=1)
+        span = self._map_span(len(items))
+        try:
+            # chunksize=1: serving tasks are coarse (a tile or a fused
+            # forward each); load balance beats batched dispatch.
+            return self._ensure_pool().map(fn, items, chunksize=1)
+        finally:
+            if span is not None:
+                span.finish()
 
     def imap_unordered(self, fn, items):
         items = list(items)

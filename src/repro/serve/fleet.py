@@ -85,10 +85,25 @@ from .hashring import HashRing
 from .registry import ModelEntry, ModelRegistry, RegistryError, state_version
 from .resilience import HedgeTimer
 from .server import PredictionServer, ServerConfig, StreamStalled
+from .telemetry import MirroredCounters
 
 __all__ = ["FleetConfig", "FleetStats", "Shard", "ShardedFleet"]
 
 _LAT_WINDOW = 10_000
+
+# FleetStats fields re-exported as ``stats.fleet.*`` metric views when
+# telemetry is enabled.  Views *read* the live stats snapshot, so the
+# numbers stay bitwise-identical to ``fleet.stats`` itself.
+_FLEET_VIEW_FIELDS = (
+    "shards", "healthy_shards", "submitted", "served", "rejected",
+    "expired", "errors", "cancelled", "unavailable", "throttled",
+    "failovers", "shard_faults", "hangs", "probes", "readmissions",
+    "spreads", "scale_ups", "scale_downs", "decommissions",
+    "reregistrations", "retried", "hedges", "hedged_wins",
+    "hedge_cancels", "breaker_open", "streams",
+    "stream_tiles_delivered", "stream_resumed", "requests",
+    "cache_hits", "dedup_hits", "batches", "batched_requests",
+    "tiled_forwards", "lost", "p50", "p99")
 
 
 @dataclass(frozen=True)
@@ -224,7 +239,8 @@ class _RouteState:
     __slots__ = ("model_name", "omega", "resolution", "priority",
                  "deadline_s", "tenant", "replicas", "next_idx", "current",
                  "submitted_at", "attempt_started", "delivered",
-                 "health_retried", "ignore_health", "hedged", "inners")
+                 "health_retried", "ignore_health", "hedged", "inners",
+                 "trace")
 
     def __init__(self, model_name: str, omega: np.ndarray,
                  resolution: int | None, priority: int | None,
@@ -246,6 +262,7 @@ class _RouteState:
         self.ignore_health = False    # last-resort pass: try ejected too
         self.hedged = False           # a backup dispatch was attempted
         self.inners: list[Future] = []   # attempts issued (for shedding)
+        self.trace = None             # root span token (telemetry on)
 
 
 class _FleetFuture(Future):
@@ -286,6 +303,10 @@ class ShardedFleet:
         self.hedge = None
         self.breaker = None
         self._hedge_timer: HedgeTimer | None = None
+        # Telemetry seam: ``enable_telemetry`` threads one tracer +
+        # metrics registry through every shard.  None = telemetry off —
+        # the hot paths pay one attribute load and an ``is not None``.
+        self.telemetry = None
         self.shards: list[Shard] = []
         self._by_id: dict[str, Shard] = {}
         self._retired: list[Shard] = []   # drained / decommissioned
@@ -335,7 +356,14 @@ class ShardedFleet:
                 # budgets and LRU accounting are per-instance.
                 cfg = replace(cfg, cache_dir=str(Path(cfg.cache_dir)
                                                  / shard_id))
-        return Shard(shard_id, PredictionServer(ModelRegistry(), cfg))
+        shard = Shard(shard_id, PredictionServer(ModelRegistry(), cfg))
+        tel = self.telemetry
+        if tel is not None:
+            # Shards born after enable_telemetry (autoscaler spawns)
+            # join the same bundle.  Per-shard stats views would collide
+            # across shards; the merged fleet views cover them.
+            shard.server.enable_telemetry(tel, register_views=False)
+        return shard
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -374,6 +402,41 @@ class ShardedFleet:
     @property
     def running(self) -> bool:
         return any(shard.server.running for shard in self.shards)
+
+    def enable_telemetry(self, telemetry,
+                         register_views: bool = True) -> None:
+        """Thread one telemetry bundle through the whole fleet.
+
+        Installs the tracer + metrics seam on this fleet and on every
+        shard server, present and future (``_make_shard`` wires shards
+        born later).  The fleet counter dict is swapped for a mirrored
+        one, so every increment also lands in an independent
+        ``fleet.*`` registry counter — the second accounting path the
+        conservation cross-check audits against ``FleetStats``.  With
+        ``register_views`` (default) the merged :class:`FleetStats`
+        fields are additionally re-registered as read-time
+        ``stats.fleet.*`` views; views read the live snapshot, never
+        shadow it, so today's numbers stay bitwise-identical.
+        Idempotent for a given bundle.
+        """
+        with self._lock:
+            self.telemetry = telemetry
+            if not isinstance(self._c, MirroredCounters):
+                self._c = MirroredCounters(self._c, telemetry.metrics,
+                                           prefix="fleet.")
+            shards = list(self.shards)
+        for shard in shards:
+            shard.server.enable_telemetry(telemetry, register_views=False)
+        if not register_views:
+            return
+        reg = telemetry.metrics
+        for name in _FLEET_VIEW_FIELDS:
+            reg.register_view(f"stats.fleet.{name}",
+                              lambda n=name: getattr(self.stats, n))
+        # Resilience seams may be installed before or after this call;
+        # the views read the live seams either way.
+        from .resilience import _register_resilience_views
+        _register_resilience_views(self, reg)
 
     # ------------------------------------------------------------------ #
     # Registry writes: fan out to every replica of the routing key
@@ -486,6 +549,10 @@ class ShardedFleet:
         read (power-of-two-choices on queue depth) before dispatch.
         """
         omega = np.asarray(omega, dtype=np.float64).reshape(-1)
+        tel = self.telemetry
+        span = None
+        if tel is not None:
+            span = tel.tracer.start("fleet.request", model=model_name)
         admission = self.admission
         if tenant is not None and admission is not None:
             retry_after = admission.try_acquire(tenant)
@@ -493,13 +560,23 @@ class ShardedFleet:
                 with self._lock:
                     self._c["submitted"] += 1
                     self._c["throttled"] += 1
+                if span is not None:
+                    span.finish(outcome="throttled")
                 quota = admission.quota_for(tenant)
                 raise TenantThrottled(model_name, tenant, retry_after,
                                       rate=quota.rate, burst=quota.burst)
-        _, replicas = self._route(model_name)
+        try:
+            _, replicas = self._route(model_name)
+        except RegistryError:
+            # An unknown model is the caller's error, raised before the
+            # request is ever counted — close the span so it exports.
+            if span is not None:
+                span.finish(outcome="error")
+            raise
         replicas = self._order_replicas(model_name, replicas)
         state = _RouteState(model_name, omega, resolution, priority,
                             deadline_s, replicas, tenant=tenant)
+        state.trace = span
         out = _FleetFuture(state)
         with self._lock:
             self._c["submitted"] += 1
@@ -586,6 +663,52 @@ class ShardedFleet:
                      resolution: int | None, priority: int | None,
                      deadline_s: float | None, tenant: str | None,
                      replicas: list[Shard], tiles, buffer_tiles: int):
+        """Telemetry front of :meth:`_stream_run`: one ``fleet.stream``
+        root span per consumed stream, an instant ``stream.tile`` child
+        per record handed out, outcome stamped with the same
+        conservation-law term the counters record."""
+        inner = self._stream_run(model_name, omega, resolution, priority,
+                                 deadline_s, tenant, replicas, tiles,
+                                 buffer_tiles)
+        tel = self.telemetry
+        if tel is None:
+            yield from inner
+            return
+        span = tel.tracer.start("fleet.stream", model=model_name)
+        tiles_out = 0
+        try:
+            for record in inner:
+                ts = tel.tracer.start("stream.tile", parent=span,
+                                      tile=record[0])
+                ts.finish()
+                tiles_out += 1
+                yield record
+        except GeneratorExit:
+            span.finish(outcome="cancelled", tiles=tiles_out)
+            inner.close()
+            raise
+        except ServerOverloaded:
+            span.finish(outcome="rejected", tiles=tiles_out)
+            raise
+        except TenantThrottled:
+            span.finish(outcome="throttled", tiles=tiles_out)
+            raise
+        except DeadlineExceeded:
+            span.finish(outcome="expired", tiles=tiles_out)
+            raise
+        except FleetUnavailable:
+            span.finish(outcome="unavailable", tiles=tiles_out)
+            raise
+        except Exception:
+            span.finish(outcome="error", tiles=tiles_out)
+            raise
+        else:
+            span.finish(outcome="served", tiles=tiles_out)
+
+    def _stream_run(self, model_name: str, omega: np.ndarray,
+                    resolution: int | None, priority: int | None,
+                    deadline_s: float | None, tenant: str | None,
+                    replicas: list[Shard], tiles, buffer_tiles: int):
         """Generator body of :meth:`stream` (runs on first ``next``).
 
         Submission is counted here, when iteration actually starts, so
@@ -889,14 +1012,21 @@ class ShardedFleet:
                     raise exc from None
                 return
             self._comm.send(state.omega.nbytes)   # routing hop: ω out
+            tel = self.telemetry
+            aspan = None
+            if tel is not None and state.trace is not None:
+                aspan = tel.tracer.start("fleet.attempt",
+                                         parent=state.trace, shard=shard.id)
             try:
                 inner = shard.server.submit(
                     state.model_name, state.omega, state.resolution,
                     priority=state.priority, deadline_s=state.deadline_s,
-                    tenant=state.tenant)
+                    tenant=state.tenant, trace_parent=aspan)
             except ServerOverloaded as exc:
                 # Backpressure is scheduling policy, not a shard fault:
                 # the caller sheds or retries; nobody gets ejected.
+                if aspan is not None:
+                    aspan.finish(outcome="rejected")
                 self._deliver(out, state, exc=exc, counter="rejected")
                 if sync:
                     raise
@@ -905,16 +1035,23 @@ class ShardedFleet:
                 # Shard-level admission (a server with its own
                 # controller): policy, not a fault — account it under
                 # the throttle term of the conservation law.
+                if aspan is not None:
+                    aspan.finish(outcome="throttled")
                 self._deliver(out, state, exc=exc, counter="throttled")
                 if sync:
                     raise
                 return
             except (ValueError, RegistryError, ServeError) as exc:
+                if aspan is not None:
+                    aspan.finish(outcome="error")
                 self._deliver(out, state, exc=exc, counter="errors")
                 if sync:
                     raise
                 return
             except Exception as exc:
+                if aspan is not None:
+                    aspan.finish(outcome="fault",
+                                 error=type(exc).__name__)
                 self._eject(shard, exc)
                 self._breaker_failure(state.model_name, shard)
                 with self._lock:
@@ -928,12 +1065,13 @@ class ShardedFleet:
             # and would ratchet the quantile toward max_delay_s).
             anchor = time.monotonic()
             inner.add_done_callback(
-                lambda f, shard=shard, anchor=anchor:
-                self._on_done(out, state, shard, f, anchor))
+                lambda f, shard=shard, anchor=anchor, aspan=aspan:
+                self._on_done(out, state, shard, f, anchor, aspan))
             return
 
     def _on_done(self, out: Future, state: _RouteState, shard: Shard,
-                 inner: Future, anchor: float | None = None) -> None:
+                 inner: Future, anchor: float | None = None,
+                 span=None) -> None:
         """Classify a shard answer: deliver, or eject + fail over."""
         try:
             exc = inner.exception()
@@ -941,8 +1079,11 @@ class ShardedFleet:
             exc = cancel
         if exc is None:
             value = inner.result()
-            if self._deliver(out, state, result=value, counter="served",
-                             anchor=anchor):
+            won = self._deliver(out, state, result=value, counter="served",
+                                anchor=anchor)
+            if span is not None:
+                span.finish(outcome="served", won=won)
+            if won:
                 self._comm.send(value.nbytes)     # response hop: field back
                 # An answer is the strongest health probe there is: a
                 # shard serving from the ignore-health last-resort pass
@@ -951,15 +1092,23 @@ class ShardedFleet:
                 self._breaker_success(state.model_name, shard)
             return
         if isinstance(exc, ServerOverloaded):
+            if span is not None:
+                span.finish(outcome="rejected")
             self._deliver(out, state, exc=exc, counter="rejected")
             return
         if isinstance(exc, TenantThrottled):
+            if span is not None:
+                span.finish(outcome="throttled")
             self._deliver(out, state, exc=exc, counter="throttled")
             return
         if isinstance(exc, DeadlineExceeded):
+            if span is not None:
+                span.finish(outcome="expired")
             self._deliver(out, state, exc=exc, counter="expired")
             return
         if isinstance(exc, (ServeError, ValueError, RegistryError)):
+            if span is not None:
+                span.finish(outcome="error")
             self._deliver(out, state, exc=exc, counter="errors")
             return
         if isinstance(exc, CancelledError):
@@ -969,11 +1118,15 @@ class ShardedFleet:
             # being second.  An *undelivered* cancelled attempt (a
             # caller reached into the inner future) still fails over
             # below so the request is not lost — just without ejecting.
+            if span is not None:
+                span.finish(outcome="cancelled")
             with self._lock:
                 if state.delivered:
                     return
         else:
             # Anything else is the shard's fault, not the request's.
+            if span is not None:
+                span.finish(outcome="fault", error=type(exc).__name__)
             self._eject(shard, exc)
             self._breaker_failure(state.model_name, shard)
         with self._lock:
@@ -1026,6 +1179,9 @@ class ShardedFleet:
                 self._latencies.append(latency)
                 if len(self._latencies) > _LAT_WINDOW:
                     del self._latencies[:len(self._latencies) - _LAT_WINDOW]
+        if state.trace is not None:
+            # Root span outcome == the conservation-law term counted.
+            state.trace.finish(outcome=counter if live else "cancelled")
         if live:
             if exc is not None:
                 out.set_exception(exc)
@@ -1075,20 +1231,30 @@ class ShardedFleet:
             candidates = [s for s in state.replicas
                           if s.healthy and s is not primary]
         breaker = self.breaker
+        tel = self.telemetry
         for shard in candidates:
             if breaker is not None and not breaker.allow(
                     (state.model_name, shard.id)):
                 continue
             self._comm.send(state.omega.nbytes)   # routing hop: ω out
+            hspan = None
+            if tel is not None and state.trace is not None:
+                hspan = tel.tracer.start("fleet.hedge",
+                                         parent=state.trace, shard=shard.id)
             try:
                 inner = shard.server.submit(
                     state.model_name, state.omega, state.resolution,
                     priority=state.priority, deadline_s=state.deadline_s,
-                    tenant=state.tenant)
+                    tenant=state.tenant, trace_parent=hspan)
             except (ServerOverloaded, TenantThrottled, ValueError,
                     RegistryError, ServeError):
+                if hspan is not None:
+                    hspan.finish(outcome="policy")
                 continue     # policy verdicts: the primary decides
             except Exception as exc:
+                if hspan is not None:
+                    hspan.finish(outcome="fault",
+                                 error=type(exc).__name__)
                 self._eject(shard, exc)
                 self._breaker_failure(state.model_name, shard)
                 continue
@@ -1098,14 +1264,14 @@ class ShardedFleet:
             hedge.record_hedge()
             anchor = time.monotonic()
             inner.add_done_callback(
-                lambda f, shard=shard, anchor=anchor: self._on_hedge_done(
-                    future, state, shard, f, anchor))
+                lambda f, shard=shard, anchor=anchor, hspan=hspan:
+                self._on_hedge_done(future, state, shard, f, anchor, hspan))
             return True
         return False
 
     def _on_hedge_done(self, out: Future, state: _RouteState,
                        shard: Shard, inner: Future,
-                       anchor: float | None = None) -> None:
+                       anchor: float | None = None, span=None) -> None:
         """Classify a backup answer: first answer wins, losing or
         policy-rejected backups stay silent (the primary attempt still
         owns the request — a hedge must never *cause* a failure), and
@@ -1113,11 +1279,16 @@ class ShardedFleet:
         try:
             exc = inner.exception()
         except CancelledError:
+            if span is not None:
+                span.finish(outcome="cancelled")
             return                       # shed straggler: already won
         if exc is None:
             value = inner.result()
-            if self._deliver(out, state, result=value, counter="served",
-                             anchor=anchor):
+            won = self._deliver(out, state, result=value, counter="served",
+                                anchor=anchor)
+            if span is not None:
+                span.finish(outcome="served", won=won)
+            if won:
                 with self._lock:
                     self._c["hedged_wins"] += 1
                 hedge = self.hedge
@@ -1130,7 +1301,11 @@ class ShardedFleet:
         if isinstance(exc, (CancelledError, ServerOverloaded,
                             TenantThrottled, DeadlineExceeded, ServeError,
                             ValueError, RegistryError)):
+            if span is not None:
+                span.finish(outcome="policy", error=type(exc).__name__)
             return
+        if span is not None:
+            span.finish(outcome="fault", error=type(exc).__name__)
         self._eject(shard, exc)
         self._breaker_failure(state.model_name, shard)
 

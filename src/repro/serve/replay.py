@@ -391,8 +391,10 @@ class ShardChaos:
     the harness's ``finally`` clean up a trace aborted mid-hang.
     """
 
-    def __init__(self, shard: "Shard") -> None:
+    def __init__(self, shard: "Shard",
+                 clock: "VirtualClock | None" = None) -> None:
         self.shard = shard
+        self.clock = clock
         self._submit = shard.server.submit
         self._submit_stream = shard.server.submit_stream
         self._forward = shard.server._forward
@@ -407,7 +409,7 @@ class ShardChaos:
         self.shard.server.submit = dead
         self.shard.server.submit_stream = dead
 
-    def hang(self) -> None:
+    def hang(self, until: float | None = None) -> None:
         # Swap the gate first, then open the superseded one: any thread
         # still parked on the previous event wakes and proceeds (that
         # hang is over), while new work blocks on the fresh gate.  The
@@ -419,16 +421,33 @@ class ShardChaos:
         prev.set()
         forward = self._forward
         stream_tiles = self._stream_tiles
+        clock = self.clock
+
+        def stall() -> None:
+            if clock is not None and until is not None:
+                # Virtual time: a hang becomes "the forward takes until
+                # the scripted release".  Blocking would deadlock the
+                # single pacing thread — the release event that frees a
+                # real hang is dispatched by the very thread parked
+                # here — so advance the clock to the release target and
+                # proceed instead.
+                if not release.is_set():
+                    release.set()
+                    now = clock()
+                    if until > now:
+                        clock.advance(until - now)
+            else:
+                release.wait()
 
         def stalled(*args, **kwargs):
-            release.wait()
+            stall()
             return forward(*args, **kwargs)
 
         def stalled_stream(*args, **kwargs):
             # Generator: the wait lands on first next(), i.e. on the
             # server's stream worker — the consumer side observes a
             # stalled next_record() and the fleet's budget ejects us.
-            release.wait()
+            stall()
             yield from stream_tiles(*args, **kwargs)
 
         self.shard.server._forward = stalled
@@ -460,6 +479,8 @@ class ReplayReport:
     wall_s: float
     stats: object                  # FleetStats snapshot at the end
     log: str                       # the jsonl event log that was replayed
+    spans: list = field(default_factory=list)  # exported span dicts
+    #                                (telemetry-enabled runs; else empty)
 
     @property
     def lost(self) -> int:
@@ -468,6 +489,12 @@ class ReplayReport:
     @property
     def served(self) -> int:
         return self.outcomes.get("served", 0)
+
+    def span_log(self) -> str:
+        """Span jsonl — the golden-trace artifact (empty string when
+        the run carried no telemetry bundle)."""
+        from .telemetry import export_jsonl
+        return export_jsonl(self.spans)
 
 
 class ReplayHarness:
@@ -481,18 +508,34 @@ class ReplayHarness:
     retry a fresh, individually conserved submit.  Fault events drive
     :class:`ShardChaos` hooks on the fleet's shards by index.  Every
     hook is restored before the drain, whatever happens mid-run.
+
+    With ``clock`` (a :class:`VirtualClock`) the pacing loop advances
+    the clock instead of sleeping — combined with an *unstarted* fleet
+    (submits process inline on the pacing thread) the whole replay is
+    single-threaded and deterministic; scripted hangs become "the
+    forward takes until the scripted release" in virtual time.  With
+    ``telemetry`` the bundle is threaded through the fleet (if not
+    already) and the report carries the exported spans —
+    ``report.span_log()`` is the golden-trace artifact.
     """
 
     def __init__(self, fleet: "ShardedFleet", scenario: Scenario, *,
                  time_scale: float = 1.0,
                  request_timeout_s: float = 30.0,
-                 omega_dim: int | None = None) -> None:
+                 omega_dim: int | None = None,
+                 clock: VirtualClock | None = None,
+                 telemetry=None) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         self.fleet = fleet
         self.scenario = scenario
         self.time_scale = time_scale
         self.request_timeout_s = request_timeout_s
+        self.clock = clock
+        self.telemetry = telemetry
+        if telemetry is not None and getattr(fleet, "telemetry",
+                                             None) is None:
+            fleet.enable_telemetry(telemetry)
         registered = set(fleet.names())
         missing = [m for m in scenario.models if m not in registered]
         if missing:
@@ -502,19 +545,39 @@ class ReplayHarness:
             omega_dim = int(fleet.get(scenario.models[0]).problem.field.m)
         self.trace = build_trace(scenario, omega_dim=omega_dim)
 
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else time.monotonic()
+
+    def _sleep(self, dt: float) -> None:
+        if self.clock is not None:
+            self.clock.sleep(dt)
+        else:
+            time.sleep(dt)
+
     def run(self) -> ReplayReport:
         fleet = self.fleet
         with fleet._lock:
             shards = list(fleet.shards)
-        chaos = {i: ShardChaos(shard) for i, shard in enumerate(shards)}
+        chaos = {i: ShardChaos(shard, clock=self.clock)
+                 for i, shard in enumerate(shards)}
+        # Virtual pacing cannot block on a hang (single thread), so the
+        # release target of every scripted hang is precomputed from the
+        # trace and handed to the hook: the stalled forward advances
+        # the clock to it instead of waiting.
+        releases: dict[int, list[float]] = {}
+        if self.clock is not None:
+            for ev in self.trace:
+                if ev.kind == "release":
+                    releases.setdefault(ev.shard % len(chaos),
+                                        []).append(ev.t)
         records: list[tuple[TraceEvent, object, BaseException | None]] = []
-        start = time.monotonic()
+        start = self._now()
         try:
             for ev in self.trace:
                 target = start + ev.t * self.time_scale
-                delay = target - time.monotonic()
+                delay = target - self._now()
                 if delay > 0:
-                    time.sleep(delay)
+                    self._sleep(delay)
                 if ev.kind == "request":
                     future, exc = self._submit(ev)
                     records.append((ev, future, exc))
@@ -525,7 +588,15 @@ class ReplayHarness:
                 elif ev.kind == "restore":
                     hook.restore()
                 elif ev.kind == "hang":
-                    hook.hang()
+                    until = None
+                    if self.clock is not None:
+                        pending = releases.get(ev.shard % len(chaos), [])
+                        while pending and pending[0] < ev.t:
+                            pending.pop(0)
+                        if pending:
+                            until = (start
+                                     + pending.pop(0) * self.time_scale)
+                    hook.hang(until=until)
                 elif ev.kind == "release":
                     hook.release()
         finally:
@@ -534,12 +605,15 @@ class ReplayHarness:
         outcomes: Counter = Counter()
         for ev, future, exc in records:
             outcomes[self._drain(ev, future, exc)] += 1
-        wall = time.monotonic() - start
+        wall = self._now() - start
+        spans = ([span.to_dict()
+                  for span in self.telemetry.tracer.spans()]
+                 if self.telemetry is not None else [])
         return ReplayReport(
             scenario=self.scenario.name, seed=self.scenario.seed,
             events=len(self.trace), requests=len(records),
             outcomes=dict(outcomes), wall_s=wall, stats=fleet.stats,
-            log=event_log(self.trace))
+            log=event_log(self.trace), spans=spans)
 
     def _submit(self, ev: TraceEvent):
         """One paced submit; transient sync verdicts become pending
@@ -571,7 +645,7 @@ class ReplayHarness:
             attempt += 1
             self.fleet.note_retry()
             if delay > 0:
-                time.sleep(delay * self.time_scale)
+                self._sleep(delay * self.time_scale)
             future, exc = self._submit(ev)
             if future is None and exc is None:  # pragma: no cover
                 return "unknown"

@@ -486,6 +486,9 @@ def install_resilience(fleet: "ShardedFleet",
         fleet.hedge = HedgePolicy(config.hedge)
     if config.breaker is not None:
         fleet.breaker = CircuitBreaker(config.breaker, clock=clock)
+    telemetry = getattr(fleet, "telemetry", None)
+    if telemetry is not None:
+        _register_resilience_views(fleet, telemetry.metrics)
     return fleet
 
 
@@ -494,3 +497,32 @@ def uninstall_resilience(fleet: "ShardedFleet") -> None:
     fleet.retry = None
     fleet.hedge = None
     fleet.breaker = None
+
+
+def _register_resilience_views(fleet: "ShardedFleet", registry) -> None:
+    """Re-register the resilience policy counters as read-time
+    ``stats.retry.* / stats.hedge.* / stats.breaker.*`` metric views.
+
+    The lambdas read the live seams at view-read time, so the views
+    survive policies being installed, swapped or uninstalled after
+    registration — an empty seam simply reads 0.  Called both by
+    :func:`install_resilience` (when the fleet already carries a
+    telemetry bundle) and by ``ShardedFleet.enable_telemetry`` (for
+    policies installed first); ``register_view`` replaces, so the
+    double registration is harmless.
+    """
+    def seam(name: str, attr: str, default=0):
+        def read():
+            policy = getattr(fleet, name)
+            return getattr(policy, attr) if policy is not None else default
+        return read
+
+    for attr in ("retries", "denied", "exhausted"):
+        registry.register_view(f"stats.retry.{attr}", seam("retry", attr))
+    registry.register_view("stats.retry.tokens",
+                           seam("retry", "tokens", 0.0))
+    for attr in ("hedges", "wins", "cancels"):
+        registry.register_view(f"stats.hedge.{attr}", seam("hedge", attr))
+    for attr in ("trips", "resets", "half_opens", "rejections"):
+        registry.register_view(f"stats.breaker.{attr}",
+                               seam("breaker", attr))

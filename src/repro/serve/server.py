@@ -321,6 +321,9 @@ class PredictionServer:
         # Optional per-tenant admission controller (see
         # repro.serve.control.admission); None admits everything.
         self.admission = None
+        # Optional telemetry bundle (see repro.serve.telemetry); None
+        # keeps every trace/metrics touchpoint a no-op attribute test.
+        self.telemetry = None
         self.cache = LRUCache(self.config.cache_bytes,
                               spill_dir=self.config.cache_dir,
                               spill_max_bytes=self.config.spill_max_bytes,
@@ -377,7 +380,40 @@ class PredictionServer:
                 self._executor = make_executor(
                     self.config.executor, self.config.workers,
                     backend=self.config.backend)
+                if self.telemetry is not None:
+                    self._executor.tracer = self.telemetry.tracer
             return self._executor
+
+    def enable_telemetry(self, telemetry,
+                         register_views: bool = True) -> None:
+        """Attach a :class:`~repro.serve.telemetry.Telemetry` bundle.
+
+        Threads the tracer through the batcher and executor and — with
+        ``register_views`` (the standalone-server default) — registers
+        this server's :class:`ServerStats` fields as ``stats.server.*``
+        read-time views on the registry.  A fleet enabling telemetry on
+        its shards passes ``register_views=False``: per-shard numbers
+        would collide on one name, and the fleet's merged stats already
+        cover them.
+        """
+        self.telemetry = telemetry
+        self._batcher.tracer = telemetry.tracer
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.tracer = telemetry.tracer
+        if register_views:
+            m = telemetry.metrics
+            s = self.stats
+            for name in ("requests", "cache_hits", "dedup_hits", "batches",
+                         "batched_requests", "tiled_forwards", "errors",
+                         "rejected", "expired", "throttled", "streams",
+                         "stream_tiles", "queue_depth"):
+                m.register_view(f"stats.server.{name}",
+                                lambda s=s, n=name: getattr(s, n))
+            m.register_view("stats.server.p50", lambda s=s: s.p50)
+            m.register_view("stats.server.p99", lambda s=s: s.p99)
+            m.register_view("stats.server.mean_batch_size",
+                            lambda s=s: s.mean_batch_size)
 
     def start(self) -> "PredictionServer":
         """Spawn the worker-thread pool (idempotent)."""
@@ -442,7 +478,8 @@ class PredictionServer:
                resolution: int | None = None, *,
                priority: int | None = None,
                deadline_s: float | None = None,
-               tenant: str | None = None) -> Future:
+               tenant: str | None = None,
+               trace_parent=None) -> Future:
         """Queue one prediction; returns a Future of the (full-field)
         NumPy array.  Cache hits resolve immediately without queueing.
 
@@ -480,6 +517,14 @@ class PredictionServer:
                 f"model {model_name!r} expects omega of length "
                 f"{entry.problem.field.m}, got {omega.size}")
         t0 = time.perf_counter()
+        tel = self.telemetry
+        span = None
+        if tel is not None:
+            # ``trace_parent`` is the caller's context token (a fleet
+            # attempt span, typically); None starts a fresh root, which
+            # is where trace sampling applies.
+            span = tel.tracer.start("server.request", parent=trace_parent,
+                                    model=model_name)
 
         future: Future = Future()
         key = self._key(entry, omega, r)
@@ -490,6 +535,8 @@ class PredictionServer:
                 self.stats.cache_hits += 1
                 self.stats.observe_latency(time.perf_counter() - t0)
             future.set_result(cached)
+            if span is not None:
+                span.finish(outcome="cache_hit")
             return future
 
         # In-flight dedup: a twin already queued (or computing) resolves
@@ -502,6 +549,8 @@ class PredictionServer:
             with self._stats_lock:
                 self.stats.requests += 1
                 self.stats.dedup_hits += 1
+            if span is not None:
+                span.finish(outcome="dedup")
             return twin
 
         if priority is None:
@@ -512,8 +561,11 @@ class PredictionServer:
             model_name=model_name, omega=omega, resolution=r, future=future,
             key=key, priority=int(priority), deadline_s=deadline_s,
             expires_at=(t0 + deadline_s if deadline_s is not None else None),
-            tenant=tenant)
+            tenant=tenant, trace=span)
         if self.running:
+            if span is not None:
+                request.trace_queue = tel.tracer.start("queue.wait",
+                                                       parent=span)
             try:
                 self._queue.put(request, block=False)
             except queue.Full:
@@ -534,6 +586,9 @@ class PredictionServer:
                 # raising) guarantees no attached caller waits forever.
                 if future.set_running_or_notify_cancel():
                     future.set_exception(exc)
+                if span is not None:
+                    request.trace_queue.finish()
+                    span.finish(outcome="rejected")
                 raise exc from None
             with self._stats_lock:
                 self.stats.requests += 1
@@ -734,6 +789,10 @@ class PredictionServer:
         if req.future.set_running_or_notify_cancel():
             return True
         self._drop_inflight(req)
+        if req.trace is not None:
+            if req.trace_queue is not None:
+                req.trace_queue.finish()
+            req.trace.finish(outcome="cancelled")
         return False
 
     def _expire_request(self, req: PredictRequest) -> None:
@@ -747,6 +806,10 @@ class PredictionServer:
                 # A stream that expires while queued delivered nothing.
                 tiles_delivered=(0 if req.stream is not None else None)))
         self._drop_inflight(req)
+        if req.trace is not None:
+            if req.trace_queue is not None:
+                req.trace_queue.finish()
+            req.trace.finish(outcome="expired")
 
     def _drop_inflight(self, req: PredictRequest) -> None:
         if req.key is None:
@@ -763,16 +826,38 @@ class PredictionServer:
         if not group:
             return
         r = group[0].resolution
+        tel = self.telemetry
+        fspan = None
+        if tel is not None:
+            for req in group:
+                if req.trace_queue is not None:
+                    req.trace_queue.finish()
+            parent = next((req.trace for req in group
+                           if req.trace is not None), None)
+            if parent is not None:
+                fspan = tel.tracer.start("server.forward", parent=parent,
+                                         batch=len(group))
         try:
             omegas = np.stack([req.omega for req in group])
-            fields = self._forward(entry, omegas, r)
+            # Only pass the span when tracing is live: chaos hooks and
+            # tests wrap ``_forward(entry, omegas, resolution)`` and must
+            # keep working verbatim with telemetry off.
+            fields = (self._forward(entry, omegas, r, trace=fspan)
+                      if fspan is not None
+                      else self._forward(entry, omegas, r))
         except Exception as exc:
+            if fspan is not None:
+                fspan.finish(error=type(exc).__name__)
             with self._stats_lock:
                 self.stats.errors += len(group)
             for req in group:
                 self._drop_inflight(req)
                 req.future.set_exception(exc)
+                if req.trace is not None:
+                    req.trace.finish(outcome="error")
             return
+        if fspan is not None:
+            fspan.finish()
         now = time.perf_counter()
         with self._stats_lock:
             self.stats.batches += 1
@@ -793,6 +878,8 @@ class PredictionServer:
             # arriving in between hits one of the two, never neither.
             self._drop_inflight(req)
             req.future.set_result(stored)
+            if req.trace is not None:
+                req.trace.finish(outcome="served")
 
     def _process_stream(self, entry: ModelEntry,
                         req: PredictRequest) -> None:
@@ -910,12 +997,13 @@ class PredictionServer:
             yield i, sl, core[0]
 
     def _forward(self, entry: ModelEntry, omegas: np.ndarray,
-                 resolution: int) -> np.ndarray:
+                 resolution: int, trace=None) -> np.ndarray:
         """Fused forward — tiled when the grid exceeds the threshold, or
         always when an explicit tile size is configured.  The configured
         executor decides where the compute lands: tiled forwards fan
         their tiles across it; whole forwards are shipped to a process
-        pool when one is configured."""
+        pool when one is configured.  ``trace`` is the forward span:
+        tiled forwards hang their per-tile spans under it."""
         voxels = resolution ** entry.problem.ndim
         if (self.config.tile is not None
                 or voxels > self.config.tile_threshold_voxels):
@@ -928,9 +1016,13 @@ class PredictionServer:
             # instead of re-pickling per tiled call.
             net_ref = (self._net_ref(entry) if executor.kind == "process"
                        else None)
+            tracer = (self.telemetry.tracer
+                      if self.telemetry is not None and trace is not None
+                      else None)
             return tiled_predict(entry.model, entry.problem, omegas,
                                  resolution=resolution, tile=tile, halo=halo,
-                                 executor=executor, net_ref=net_ref)
+                                 executor=executor, net_ref=net_ref,
+                                 tracer=tracer, trace_parent=trace)
         executor = self.executor
         if executor.kind == "process":
             payload = (entry.version, self._entry_blob(entry),

@@ -230,7 +230,8 @@ def _run_tile_task(task) -> np.ndarray:
 
 def tiled_forward(net, x: np.ndarray, plan: TilePlan,
                   out_channels: int = 1, executor=None,
-                  net_ref: tuple[str, bytes] | None = None) -> np.ndarray:
+                  net_ref: tuple[str, bytes] | None = None,
+                  tracer=None, trace_parent=None) -> np.ndarray:
     """Run ``net`` (a spatially local module in eval mode) over halo-padded
     tiles of ``x`` (shape (N, C, *spatial)) and stitch the full output.
 
@@ -245,6 +246,11 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
     the cached blob on every call, instead of paying a fresh
     ``pickle.dumps(net)`` per forward.  Without it the blob is built
     here (one pickle per call — fine for one-shot CLI use).
+
+    ``tracer``/``trace_parent`` (optional telemetry) emit one
+    "tile.compute" span per tile on the sequential and thread paths and
+    one "tile.wave" span per dispatch wave on the process path (the
+    parent cannot time inside a child process).
     """
     if x.shape[2:] != plan.shape:
         raise ValueError(
@@ -258,7 +264,9 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
 
     if not parallel:
         pool = get_pool()
-        for block, core_dst in zip(plan.blocks, core_dsts):
+        for i, (block, core_dst) in enumerate(zip(plan.blocks, core_dsts)):
+            span = (tracer.start("tile.compute", parent=trace_parent, tile=i)
+                    if tracer is not None else None)
             padded, core_src = _padded_block(x, block, plan.halo)
             # Pooled contiguous scratch: the slicing above yields a view.
             buf = pool.acquire(padded.shape, dtype=padded.dtype)
@@ -267,6 +275,8 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
                 core = _forward_tile(net, buf, core_src)
             finally:
                 pool.release(buf)
+                if span is not None:
+                    span.finish()
             out[(slice(None), slice(None)) + core_dst] = core
     elif kind == "process":
         if net_ref is not None:
@@ -280,6 +290,10 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
         # of tiling on exactly the megavoxel grids it exists for.
         wave = max(1, 2 * executor.workers)
         for w0 in range(0, plan.num_tiles, wave):
+            span = (tracer.start("tile.wave", parent=trace_parent,
+                                 first=w0,
+                                 count=min(wave, plan.num_tiles - w0))
+                    if tracer is not None else None)
             tasks = []
             for block in plan.blocks[w0:w0 + wave]:
                 padded, core_src = _padded_block(x, block, plan.halo)
@@ -289,9 +303,14 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
             cores = executor.map(_run_tile_task, tasks)
             for core_dst, core in zip(core_dsts[w0:w0 + wave], cores):
                 out[(slice(None), slice(None)) + core_dst] = core
+            if span is not None:
+                span.finish()
     else:  # thread executor: share the model, pool scratch per task
 
-        def run(block) -> np.ndarray:
+        def run(indexed_block) -> np.ndarray:
+            i, block = indexed_block
+            span = (tracer.start("tile.compute", parent=trace_parent, tile=i)
+                    if tracer is not None else None)
             padded, core_src = _padded_block(x, block, plan.halo)
             pool = get_pool()
             buf = pool.acquire(padded.shape, dtype=padded.dtype)
@@ -300,8 +319,10 @@ def tiled_forward(net, x: np.ndarray, plan: TilePlan,
                 return _forward_tile(net, buf, core_src)
             finally:
                 pool.release(buf)
+                if span is not None:
+                    span.finish()
 
-        cores = executor.map(run, plan.blocks)
+        cores = executor.map(run, list(enumerate(plan.blocks)))
         for core_dst, core in zip(core_dsts, cores):
             out[(slice(None), slice(None)) + core_dst] = core
     return out
@@ -441,7 +462,8 @@ def tiled_predict(model, problem, omegas: np.ndarray,
                   resolution: int | None = None,
                   tile: "int | str | None" = None,
                   halo: int | None = None, executor=None,
-                  net_ref: tuple[str, bytes] | None = None) -> np.ndarray:
+                  net_ref: tuple[str, bytes] | None = None,
+                  tracer=None, trace_parent=None) -> np.ndarray:
     """Tiled counterpart of :func:`repro.core.inference.predict_batch`.
 
     Produces the same ``(B, *grid.shape)`` full-field predictions, but
@@ -472,7 +494,8 @@ def tiled_predict(model, problem, omegas: np.ndarray,
     model.eval()
     try:
         u_net = tiled_forward(net, log_nu, plan, out_channels=1,
-                              executor=executor, net_ref=net_ref)
+                              executor=executor, net_ref=net_ref,
+                              tracer=tracer, trace_parent=trace_parent)
     finally:
         model.train(was_training)
 

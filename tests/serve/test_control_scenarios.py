@@ -29,7 +29,8 @@ from repro import MGDiffNet, PoissonProblem2D
 from repro.core.inference import predict_batch
 from repro.serve import (
     ControlConfig, ControlPlane, FleetConfig, FleetUnavailable,
-    ServerConfig, ServerOverloaded, ShardedFleet, TenantThrottled,
+    ServerConfig, ServerOverloaded, ShardedFleet, Telemetry,
+    TenantThrottled, VirtualClock,
 )
 
 SEED = 20260728
@@ -77,10 +78,10 @@ class _Chaos:
     def hang(self):
         forward = self._forward
 
-        def hung(entry, omegas, resolution):
+        def hung(entry, omegas, resolution, **kw):
             self.entered.set()
             assert self.release.wait(timeout=60)
-            return forward(entry, omegas, resolution)
+            return forward(entry, omegas, resolution, **kw)
         self.shard.server._forward = hung
 
     def restore(self):
@@ -438,3 +439,97 @@ class TestAdmissionUnderStorm:
         assert ps.throttled == len(throttles)
         assert ps.admitted == 48 - len(throttles)
         assert ps.tenants["noisy"]["throttled"] == len(throttles)
+
+
+class TestSLOTrajectory:
+    def test_storm_records_per_tick_slo_trajectory(self, served):
+        """Load step -> scale up, kill -> decommission, with telemetry
+        live: the registry's SLO gauges carry the whole per-tick
+        trajectory (healthy shards 3 -> 4 -> 3, p99 observed, queue
+        depth spiking during the step), timestamped from the plane's
+        forged clock, and both accounting paths still reconcile."""
+        model, problem = served
+        fleet = _fleet(shards=3, replicas=2, shard_timeout_s=0.25)
+        names = ["m0", "m1"]
+        for name in names:
+            fleet.register_model(name, model, problem)
+        telemetry = Telemetry()
+        fleet.enable_telemetry(telemetry)
+        reg = telemetry.metrics
+        clock = VirtualClock()
+        plane = ControlPlane(fleet, ControlConfig(
+            balance=False, autoscale=True, autoscale_min=3,
+            autoscale_max=4, scale_up_depth=2.0, scale_down_depth=0.5,
+            up_streak=1, down_streak=10 ** 6,   # never scale back down
+            probe_base_backoff_s=0.05, probe_max_backoff_s=0.2,
+            probe_timeout_s=0.25, permanent_after=2),
+            clock=clock)
+        rng = np.random.default_rng(SEED + 1)
+
+        def tick():
+            clock.advance(1.0)        # > max backoff: probes never wait
+            plane.tick()
+
+        with fleet:
+            tick()                                 # healthy baseline
+            assert reg.value("slo.healthy_shards") == 3.0
+            for _ in range(8):
+                fleet.predict(names[0], rng.uniform(-3, 3, 4), timeout=30)
+            tick()
+            assert reg.value("slo.p99_ms") > 0.0
+
+            # Load step: hang every shard, pile up a backlog.
+            hangs = [_Chaos(s) for s in fleet.shards]
+            for chaos in hangs:
+                chaos.hang()
+            futures = []
+            for i in range(24):
+                name = names[i % 2]
+                omega = rng.uniform(-3, 3, 4)
+                futures.append((name, omega, fleet.submit(name, omega)))
+            tick()                                 # depth step observed
+            assert len(fleet.shards) == 4
+            assert plane.stats.scale_ups == 1
+            for chaos in hangs:
+                chaos.restore()
+            results, request_errors = _drain(futures)
+            assert not request_errors
+
+            # Kill the current m0 primary; the fault ejects it and the
+            # prober (permanent_after=2) decommissions it on its own.
+            victim = _shard(fleet, fleet.replicas_for("m0")[0])
+            _Chaos(victim).kill()
+            u = fleet.predict("m0", rng.uniform(-3, 3, 4), timeout=30)
+            assert u.shape == (16, 16)             # replica answered
+            assert not victim.healthy
+            deadline = time.monotonic() + 30.0
+            while (victim.id in [s.id for s in fleet.shards]
+                   and time.monotonic() < deadline):
+                tick()
+                time.sleep(0.01)
+            assert victim.id not in [s.id for s in fleet.shards]
+            tick()                                 # record healed level
+
+        assert fleet.stats.lost == 0
+        assert len(results) == 24
+        ticks = plane.stats.ticks
+        assert reg.value("control.ticks") == ticks
+        hist = reg.gauge("slo.healthy_shards").history
+        assert len(hist) == ticks
+        times = [t for t, _ in hist]
+        assert times == sorted(times)              # per-tick, in order
+        assert len(set(times)) == len(times)
+        values = [v for _, v in hist]
+        assert values[0] == 3.0                    # baseline
+        assert max(values) == 4.0                  # the scale-up
+        assert values[-1] == 3.0                   # healed after the kill
+        p99s = [v for _, v in reg.gauge("slo.p99_ms").history]
+        assert len(p99s) == ticks
+        assert any(v > 0.0 for v in p99s) and min(p99s) >= 0.0
+        depths = [v for _, v in reg.gauge("slo.queue_depth").history]
+        assert max(depths) >= 2.0                  # the load step
+        # Views and mirrored counters agree with the legacy stats.
+        assert reg.value("stats.control.scale_ups") == 1
+        assert reg.value("stats.control.decommissions") == 1
+        assert reg.value("stats.fleet.submitted") == fleet.stats.submitted
+        assert reg.value("fleet.served") == fleet.stats.served
